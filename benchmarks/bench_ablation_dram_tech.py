@@ -1,0 +1,51 @@
+"""Ablation (paper section 3.3): Direct Rambus vs an SDRAM-like memory.
+
+"With a wide 128-bit bus, a 10ns SDRAM memory system can in principle
+deliver 1.5Gbyte/s ... the proposed Direct Rambus design for 1999 uses
+a 2-byte bus clocked at 1.25ns, giving the same 1.5Gbyte/s."  The two
+technologies bracket the same peak bandwidth with different granularity;
+this benchmark swaps the DRAM timing under the baseline machine and
+confirms run times are near-identical -- the paper's justification for
+calling its non-pipelined Rambus "similar ... to an SDRAM
+implementation".
+"""
+
+from dataclasses import replace
+
+from repro.analysis.report import render_table
+from repro.core.params import RambusParams
+from repro.systems.factory import baseline_machine
+
+#: SDRAM modelled in the RambusParams shape: 50 ns initial, then a
+#: 16-byte beat every 10 ns (128-bit bus at 100 MHz).
+SDRAM_LIKE = RambusParams(access_ps=50_000, ps_per_beat=10_000, bytes_per_beat=16)
+
+
+def test_rambus_and_sdram_like_are_close(benchmark, runner, emit):
+    from repro.experiments.runner import ExperimentOutput
+
+    rate = runner.config.fast_rate
+
+    def run_ablation():
+        rows = []
+        for size in (128, 1024, 4096):
+            rambus = runner.record("baseline", baseline_machine(rate, size))
+            sdram = runner.record(
+                "baseline_sdram",
+                replace(baseline_machine(rate, size), dram=SDRAM_LIKE),
+            )
+            rows.append((size, rambus.seconds, sdram.seconds))
+        return rows
+
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    text = render_table(
+        "Ablation: Direct Rambus vs SDRAM-like DRAM under the baseline",
+        headers=("block", "rambus (s)", "sdram-like (s)"),
+        rows=[(s, f"{a:.4f}", f"{b:.4f}") for s, a, b in rows],
+        note="Same peak bandwidth, same access latency: the paper's "
+        "non-pipelined Rambus 'has similar characteristics to an SDRAM "
+        "implementation' (section 2.4).",
+    )
+    emit(ExperimentOutput("ablation_dram_tech", "DRAM technology", text, {}))
+    for _, rambus_s, sdram_s in rows:
+        assert abs(rambus_s - sdram_s) / rambus_s < 0.05

@@ -1,0 +1,24 @@
+"""Regenerates Figure 2: per-level time fractions at the slow issue rate.
+
+Paper shape checked here (section 5.3):
+* L1d time is a very low fraction (it is purely inclusion maintenance;
+  data hits are fully pipelined);
+* the conventional machine's DRAM fraction grows with block size;
+* RAMpage spends a smaller fraction of its time in DRAM than the
+  baseline at every size (its full associativity cuts misses).
+"""
+
+from repro.experiments.figures23 import run_figure2
+
+
+def test_figure2_level_fractions(benchmark, runner, emit):
+    output = benchmark.pedantic(run_figure2, args=(runner,), rounds=1, iterations=1)
+    emit(output)
+    baseline = output.data["baseline"]
+    rampage = output.data["rampage"]
+    for row in baseline + rampage:
+        assert row["l1d"] < 0.2
+    dram = [row["dram"] for row in baseline]
+    assert dram[-1] > dram[0]  # grows with block size
+    for base_row, ramp_row in zip(baseline, rampage):
+        assert ramp_row["dram"] < base_row["dram"]

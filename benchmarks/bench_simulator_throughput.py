@@ -1,0 +1,37 @@
+"""Simulator engine throughput.
+
+Not a paper experiment -- this measures the reproduction itself:
+references simulated per second on each machine, so regressions in the
+hot chunk loop are caught.  pytest-benchmark runs these at full
+precision (multiple rounds) because each round is cheap.
+"""
+
+from repro.systems.factory import baseline_machine, build_system, rampage_machine
+from repro.trace.interleave import InterleavedWorkload
+from repro.trace.synthetic import build_workload
+
+REFS = 120_000
+
+
+def drive(params):
+    system = build_system(params)
+    workload = InterleavedWorkload(
+        build_workload(scale=0.0002), slice_refs=10_000
+    )
+    consumed = 0
+    while consumed < REFS:
+        chunk = workload.next_chunk()
+        if chunk is None:
+            break
+        consumed += system.run_chunk(chunk)
+    return consumed
+
+
+def test_conventional_throughput(benchmark):
+    consumed = benchmark(drive, baseline_machine(10**9, 512))
+    assert consumed >= REFS
+
+
+def test_rampage_throughput(benchmark):
+    consumed = benchmark(drive, rampage_machine(10**9, 1024))
+    assert consumed >= REFS

@@ -1,0 +1,22 @@
+"""Regenerates Table 4: RAMpage with context switches on misses.
+
+Paper shape checked here (section 5.4):
+* the value of switching on a miss increases with CPU speed (paper: a
+  modest gain at 200 MHz growing to 16% at 4 GHz);
+* at the fastest rate, switching on misses beats plain RAMpage.
+"""
+
+from repro.experiments import table4
+
+
+def test_table4_switch_on_miss(benchmark, runner, emit):
+    output = benchmark.pedantic(table4.run, args=(runner,), rounds=1, iterations=1)
+    emit(output)
+    summary = {e["issue_rate_hz"]: e for e in output.data["summary"]}
+    slow = summary[min(summary)]
+    fast = summary[max(summary)]
+    assert fast["speedup_vs_no_switch"] > slow["speedup_vs_no_switch"]
+    assert fast["speedup_vs_no_switch"] > 0
+    # Larger pages are where switching pays: the best switching size is
+    # at least as large as the best no-switch size at the fastest rate.
+    assert fast["best_som_size"] >= fast["best_plain_size"]

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment has setuptools but no ``wheel`` package and no network,
+so PEP 660 editable installs (``pip install -e .``) cannot build. All
+metadata lives in ``pyproject.toml``; this shim only exists so
+``python setup.py develop`` works offline.
+"""
+
+from setuptools import setup
+
+setup()

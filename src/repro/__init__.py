@@ -1,0 +1,87 @@
+"""repro -- a reproduction of the RAMpage memory hierarchy.
+
+Trace-driven simulator reproducing *"Hardware-Software Trade-Offs in a
+Direct Rambus Implementation of the RAMpage Memory Hierarchy"*
+(Machanick, Salverda & Pompe, ASPLOS 1998): a conventional two-level
+cache machine and the RAMpage machine -- whose lowest SRAM level is a
+software-managed paged main memory over Direct Rambus DRAM -- compared
+across the growing CPU-DRAM speed gap.
+
+Quick start::
+
+    from repro import rampage_machine, baseline_machine, simulate
+    from repro.trace import build_workload
+
+    programs = build_workload(scale=0.001)
+    result = simulate(rampage_machine(issue_rate_hz=10**9), programs,
+                      slice_refs=2_000)
+    print(result.seconds, result.stats.page_faults)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.core.params import (
+    BusParams,
+    CacheParams,
+    DiskParams,
+    HandlerCosts,
+    L1Params,
+    MachineParams,
+    RambusParams,
+    RampageParams,
+    TlbParams,
+)
+from repro.core.stats import SimStats
+from repro.systems import (
+    ConventionalSystem,
+    RampageSystem,
+    SimulationResult,
+    Simulator,
+    baseline_machine,
+    build_system,
+    rampage_machine,
+    simulate,
+    twoway_machine,
+)
+from repro.systems.factory import (
+    ISSUE_RATES_HZ,
+    TRANSFER_SIZES,
+    aggressive_l1,
+    large_tlb,
+    with_future_work_upgrades,
+)
+from repro.trace import build_program, build_workload, table2_catalog
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BusParams",
+    "CacheParams",
+    "DiskParams",
+    "HandlerCosts",
+    "L1Params",
+    "MachineParams",
+    "RambusParams",
+    "RampageParams",
+    "TlbParams",
+    "SimStats",
+    "ConventionalSystem",
+    "RampageSystem",
+    "SimulationResult",
+    "Simulator",
+    "baseline_machine",
+    "build_system",
+    "rampage_machine",
+    "simulate",
+    "twoway_machine",
+    "ISSUE_RATES_HZ",
+    "TRANSFER_SIZES",
+    "aggressive_l1",
+    "large_tlb",
+    "with_future_work_upgrades",
+    "build_program",
+    "build_workload",
+    "table2_catalog",
+    "__version__",
+]

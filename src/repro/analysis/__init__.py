@@ -1,0 +1,55 @@
+"""Result assembly and reporting.
+
+Turns raw simulation results into the paper's tables and figures:
+
+* :mod:`repro.analysis.efficiency` -- Table 1 (analytic bandwidth
+  efficiency of Direct Rambus vs disk).
+* :mod:`repro.analysis.runtime` -- run-time grids (Tables 3-5).
+* :mod:`repro.analysis.fractions` -- per-level time fractions
+  (Figures 2-3).
+* :mod:`repro.analysis.overheads` -- software overhead ratios
+  (Figure 4).
+* :mod:`repro.analysis.relative` -- relative-slowdown series
+  (Figure 5).
+* :mod:`repro.analysis.report` -- plain-text table/figure rendering.
+* :mod:`repro.analysis.figures_svg` -- SVG renderings of Figures 2-5.
+* :mod:`repro.analysis.three_cs` -- compulsory/capacity/conflict miss
+  decomposition of the conventional L2.
+* :mod:`repro.analysis.characterize` -- workload footprint, working-set
+  and reuse-distance profiling.
+"""
+
+from repro.analysis.characterize import (
+    WorkloadProfile,
+    characterize,
+    reuse_distance_histogram,
+)
+from repro.analysis.efficiency import (
+    disk_efficiency,
+    rambus_efficiency,
+    table1_rows,
+)
+from repro.analysis.figures_svg import write_figure_svgs
+from repro.analysis.fractions import level_fraction_rows
+from repro.analysis.overheads import overhead_rows
+from repro.analysis.relative import relative_speed_rows
+from repro.analysis.runtime import RunGrid, best_cell, speedup
+from repro.analysis.three_cs import ThreeCsResult, classify_l2_misses
+
+__all__ = [
+    "WorkloadProfile",
+    "characterize",
+    "reuse_distance_histogram",
+    "disk_efficiency",
+    "rambus_efficiency",
+    "table1_rows",
+    "write_figure_svgs",
+    "level_fraction_rows",
+    "overhead_rows",
+    "relative_speed_rows",
+    "RunGrid",
+    "best_cell",
+    "speedup",
+    "ThreeCsResult",
+    "classify_l2_misses",
+]

@@ -1,0 +1,181 @@
+"""Workload characterization.
+
+The calibration story in ``docs/workload-model.md`` rests on measurable
+properties of the reference streams: total footprint, working-set
+growth, page-level locality and reuse.  This module computes them
+directly from any chunk stream, so workload claims are checkable rather
+than asserted -- and users bringing their own traces can characterise
+them the same way before simulating.
+
+All measures are exact except the reuse-distance profile, which uses
+the standard set-based stack-distance algorithm over block granules
+(exact but O(n log n)-ish via position maps; fine at analysis scales).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+from repro.trace.record import IFETCH, TraceChunk
+
+
+@dataclass
+class WorkloadProfile:
+    """Summary of one reference stream (single- or multi-process)."""
+
+    refs: int = 0
+    ifetches: int = 0
+    footprint_bytes: int = 0
+    distinct_pages: dict[int, int] = field(default_factory=dict)
+    working_set_curve: list[tuple[int, int]] = field(default_factory=list)
+    page_change_rate: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def ifetch_fraction(self) -> float:
+        return self.ifetches / self.refs if self.refs else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "refs": self.refs,
+            "ifetch_fraction": self.ifetch_fraction,
+            "footprint_bytes": self.footprint_bytes,
+            "distinct_pages": dict(self.distinct_pages),
+            "working_set_curve": list(self.working_set_curve),
+            "page_change_rate": dict(self.page_change_rate),
+        }
+
+
+def characterize(
+    chunks: Iterable[TraceChunk],
+    granule_bytes: int = 32,
+    page_sizes: tuple[int, ...] = (128, 1024, 4096),
+    curve_points: int = 16,
+) -> WorkloadProfile:
+    """Profile a chunk stream.
+
+    * ``footprint_bytes`` -- distinct ``granule_bytes`` granules touched,
+      times the granule size (the workload's total memory demand);
+    * ``distinct_pages[p]`` -- distinct pages at page size ``p`` (what a
+      TLB/page table must cover);
+    * ``working_set_curve`` -- (refs consumed, footprint so far) at
+      ``curve_points`` evenly spaced milestones (how fast memory demand
+      grows -- the warm-up driver);
+    * ``page_change_rate[p]`` -- fraction of consecutive same-process
+      references that land on a *different* page at size ``p`` (a cheap
+      upper-bound proxy for TLB pressure).
+    """
+    if granule_bytes <= 0 or (granule_bytes & (granule_bytes - 1)):
+        raise ConfigurationError("granule_bytes must be a power of two")
+    for page in page_sizes:
+        if page <= 0 or (page & (page - 1)):
+            raise ConfigurationError("page sizes must be powers of two")
+
+    profile = WorkloadProfile()
+    granule_shift = granule_bytes.bit_length() - 1
+    page_shifts = {page: page.bit_length() - 1 for page in page_sizes}
+    seen_granules: set[int] = set()
+    seen_pages: dict[int, set[int]] = {page: set() for page in page_sizes}
+    changes = {page: 0 for page in page_sizes}
+    change_pairs = 0
+    last_pid = None
+    last_page = {page: -1 for page in page_sizes}
+
+    chunk_list = list(chunks)
+    total = sum(len(c) for c in chunk_list)
+    if total == 0:
+        return profile
+    step = max(1, total // curve_points)
+    next_milestone = step
+
+    for chunk in chunk_list:
+        pid_tag = chunk.pid << 48
+        addrs = chunk.addrs.astype(np.int64)
+        kinds = chunk.kinds
+        profile.ifetches += int(np.count_nonzero(kinds == IFETCH))
+        granules = (addrs >> granule_shift).tolist()
+        same_process = last_pid == chunk.pid
+        for page, shift in page_shifts.items():
+            pages = (addrs >> shift).tolist()
+            seen = seen_pages[page]
+            prev = last_page[page] if same_process else -1
+            flips = 0
+            for p in pages:
+                key = pid_tag | p
+                seen.add(key)
+                if p != prev:
+                    if prev != -1:
+                        flips += 1
+                    prev = p
+            changes[page] += flips
+            last_page[page] = prev
+        if same_process:
+            change_pairs += len(chunk)
+        else:
+            change_pairs += max(0, len(chunk) - 1)
+        for g in granules:
+            seen_granules.add(pid_tag | g)
+        profile.refs += len(chunk)
+        last_pid = chunk.pid
+        while profile.refs >= next_milestone:
+            profile.working_set_curve.append(
+                (next_milestone, len(seen_granules) * granule_bytes)
+            )
+            next_milestone += step
+
+    profile.footprint_bytes = len(seen_granules) * granule_bytes
+    profile.distinct_pages = {page: len(seen) for page, seen in seen_pages.items()}
+    profile.page_change_rate = {
+        page: (changes[page] / change_pairs if change_pairs else 0.0)
+        for page in page_sizes
+    }
+    return profile
+
+
+def reuse_distance_histogram(
+    chunks: Iterable[TraceChunk],
+    granule_bytes: int = 32,
+    bucket_edges: tuple[int, ...] = (1, 8, 64, 512, 4096, 32768),
+) -> dict[str, int]:
+    """Stack-distance histogram over granules (single stream).
+
+    Distance = number of distinct granules touched since the previous
+    access to the same granule; cold first touches go to ``"cold"``.
+    Buckets are labelled ``"<=N"`` by their upper edge plus ``">last"``.
+    Exact LRU stack distances via an order-preserving position list --
+    quadratic in distinct granules in the worst case, intended for
+    analysis-scale streams (up to a few hundred thousand references).
+    """
+    if granule_bytes <= 0 or (granule_bytes & (granule_bytes - 1)):
+        raise ConfigurationError("granule_bytes must be a power of two")
+    if list(bucket_edges) != sorted(set(bucket_edges)):
+        raise ConfigurationError("bucket_edges must be strictly increasing")
+    shift = granule_bytes.bit_length() - 1
+    stack: list[int] = []  # most recent last
+    index: dict[int, int] = {}
+    labels = [f"<={edge}" for edge in bucket_edges] + [f">{bucket_edges[-1]}"]
+    histogram = {"cold": 0, **{label: 0 for label in labels}}
+    for chunk in chunks:
+        pid_tag = chunk.pid << 48
+        for addr in (chunk.addrs.astype(np.int64) >> shift).tolist():
+            key = pid_tag | addr
+            pos = index.get(key)
+            if pos is None:
+                histogram["cold"] += 1
+            else:
+                distance = len(stack) - pos - 1
+                for edge, label in zip(bucket_edges, labels):
+                    if distance <= edge:
+                        histogram[label] += 1
+                        break
+                else:
+                    histogram[labels[-1]] += 1
+                stack.pop(pos)
+                for moved in stack[pos:]:
+                    index[moved] -= 1
+            index[key] = len(stack)
+            stack.append(key)
+    return histogram

@@ -1,0 +1,307 @@
+"""Standalone SVG renderings of the paper's figures.
+
+The text reports in :mod:`repro.analysis.report` are the canonical
+("table view") output; this module adds publication-style SVG files:
+
+* Figures 2-3 -- stacked bars of per-level time fractions per size, one
+  panel per hierarchy (parts-of-a-whole composition),
+* Figure 4 -- overhead-ratio lines per hierarchy over page size,
+* Figure 5 -- relative-slowdown lines per hierarchy, one panel per
+  issue rate.
+
+Visual rules follow the dataviz method: a validated categorical palette
+assigned in fixed slot order (validated for light and dark surfaces;
+series identity is never color-alone -- every chart has a legend and
+the marks carry native ``<title>`` hover tooltips), one y-axis per
+chart, thin marks with 2px surface gaps between stacked segments, text
+in text tokens rather than series colors, and a dark-mode variant
+selected via ``prefers-color-scheme``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.report import format_rate
+from repro.core.errors import ConfigurationError
+
+# Validated categorical slots (reference palette; light / dark steps).
+_SERIES_LIGHT = ("#2a78d6", "#1baf7a", "#eda100", "#008300", "#4a3aa7", "#e34948")
+_SERIES_DARK = ("#3987e5", "#199e70", "#c98500", "#008300", "#9085e9", "#e66767")
+
+_STYLE = """
+  .viz-root { --surface: #fcfcfb; --ink: #0b0b0b; --ink-2: #52514e;
+              --grid: #e4e3df; }
+  @media (prefers-color-scheme: dark) {
+    .viz-root { --surface: #1a1a19; --ink: #ffffff; --ink-2: #c3c2b7;
+                --grid: #3a3a38; }
+  }
+  .surface { fill: var(--surface); }
+  text { font-family: system-ui, sans-serif; fill: var(--ink); }
+  .muted { fill: var(--ink-2); }
+  .grid { stroke: var(--grid); stroke-width: 1; }
+  .axis { stroke: var(--ink-2); stroke-width: 1; }
+"""
+
+LEVEL_LABELS = {
+    "l1i": "L1i",
+    "l1d": "L1d",
+    "l2": "L2",
+    "sram": "SRAM",
+    "dram": "DRAM",
+    "other": "other",
+}
+
+
+def _series_css(n: int) -> str:
+    rules = []
+    for idx in range(n):
+        rules.append(f".s{idx} {{ fill: {_SERIES_LIGHT[idx]}; stroke: {_SERIES_LIGHT[idx]}; }}")
+    dark = "\n    ".join(
+        f".s{idx} {{ fill: {_SERIES_DARK[idx]}; stroke: {_SERIES_DARK[idx]}; }}"
+        for idx in range(n)
+    )
+    rules.append(f"@media (prefers-color-scheme: dark) {{\n    {dark}\n  }}")
+    return "\n  ".join(rules)
+
+
+def _svg(width: int, height: int, body: str, n_series: int) -> str:
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" class="viz-root" '
+        f'role="img">\n'
+        f"<style>{_STYLE}\n  {_series_css(n_series)}</style>\n"
+        f'<rect class="surface" x="0" y="0" width="{width}" height="{height}"/>\n'
+        f"{body}\n</svg>\n"
+    )
+
+
+def _legend(items: list[tuple[int, str]], x: int, y: int) -> str:
+    parts = []
+    cursor = x
+    for slot, label in items:
+        parts.append(
+            f'<rect class="s{slot}" x="{cursor}" y="{y - 9}" width="10" '
+            f'height="10" rx="2"/>'
+        )
+        cursor += 14
+        parts.append(
+            f'<text x="{cursor}" y="{y}" font-size="11">{label}</text>'
+        )
+        cursor += 9 * len(label) // 1 + 14
+    return "\n".join(parts)
+
+
+def stacked_fraction_panel(
+    rows: list[dict[str, float]],
+    levels: tuple[str, ...],
+    title: str,
+    sram_label: str = "L2",
+) -> str:
+    """One Figure 2/3 panel: stacked time-fraction bars by size."""
+    if not rows:
+        raise ConfigurationError("no rows to plot")
+    width, height = 560, 360
+    left, top, right, bottom = 64, 56, 20, 64
+    plot_w = width - left - right
+    plot_h = height - top - bottom
+    n = len(rows)
+    slot_w = plot_w / n
+    bar_w = min(44, slot_w * 0.55)
+    body: list[str] = [
+        f'<text x="{left}" y="24" font-size="14" font-weight="600">{title}</text>'
+    ]
+    # y grid at 0, .25, .5, .75, 1
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        y = top + plot_h * (1 - frac)
+        body.append(f'<line class="grid" x1="{left}" y1="{y:.1f}" x2="{left + plot_w}" y2="{y:.1f}"/>')
+        body.append(
+            f'<text class="muted" x="{left - 8}" y="{y + 4:.1f}" font-size="10" '
+            f'text-anchor="end">{frac:.2f}</text>'
+        )
+    body.append(
+        f'<text class="muted" x="16" y="{top + plot_h / 2:.0f}" font-size="11" '
+        f'transform="rotate(-90 16 {top + plot_h / 2:.0f})" '
+        f'text-anchor="middle">fraction of run time</text>'
+    )
+    for col, row in enumerate(rows):
+        x = left + slot_w * col + (slot_w - bar_w) / 2
+        y_cursor = top + plot_h
+        for slot, level in enumerate(levels):
+            value = float(row.get(level, 0.0))
+            seg_h = plot_h * value
+            if seg_h <= 0:
+                continue
+            y_cursor -= seg_h
+            label = LEVEL_LABELS.get(level, level)
+            if level == "l2":
+                label = sram_label
+            gap_h = max(0.0, seg_h - 2)  # 2px surface gap between segments
+            body.append(
+                f'<rect class="s{slot}" x="{x:.1f}" y="{y_cursor + 1:.1f}" '
+                f'width="{bar_w:.1f}" height="{gap_h:.1f}" rx="2">'
+                f"<title>{row['size_bytes']}B {label}: {value:.3f}</title></rect>"
+            )
+            # Direct labels on segments tall enough to hold them.
+            if seg_h > 26 and value >= 0.08:
+                body.append(
+                    f'<text x="{x + bar_w / 2:.1f}" y="{y_cursor + seg_h / 2 + 4:.1f}" '
+                    f'font-size="10" text-anchor="middle">{value:.2f}</text>'
+                )
+        body.append(
+            f'<text class="muted" x="{x + bar_w / 2:.1f}" '
+            f'y="{top + plot_h + 16}" font-size="11" '
+            f'text-anchor="middle">{row["size_bytes"]}</text>'
+        )
+    body.append(
+        f'<text class="muted" x="{left + plot_w / 2:.0f}" '
+        f'y="{top + plot_h + 34}" font-size="11" '
+        f'text-anchor="middle">block / page size (bytes)</text>'
+    )
+    legend_items = []
+    for slot, level in enumerate(levels):
+        label = sram_label if level == "l2" else LEVEL_LABELS.get(level, level)
+        legend_items.append((slot, label))
+    body.append(_legend(legend_items, left, height - 12))
+    return _svg(width, height, "\n".join(body), n_series=len(levels))
+
+
+def line_chart(
+    series: dict[str, dict[int, float]],
+    title: str,
+    y_label: str,
+    x_label: str = "block / page size (bytes)",
+) -> str:
+    """Multi-series line chart over ordered sizes (Figures 4-5)."""
+    if not series:
+        raise ConfigurationError("no series to plot")
+    xs = sorted({x for values in series.values() for x in values})
+    if not xs:
+        raise ConfigurationError("series contain no points")
+    y_max = max(
+        (v for values in series.values() for v in values.values()), default=1.0
+    )
+    y_max = max(y_max, 1e-9) * 1.08
+    width, height = 560, 340
+    left, top, right, bottom = 64, 56, 20, 64
+    plot_w = width - left - right
+    plot_h = height - top - bottom
+
+    def x_of(x: int) -> float:
+        return left + plot_w * xs.index(x) / max(1, len(xs) - 1)
+
+    def y_of(v: float) -> float:
+        return top + plot_h * (1 - v / y_max)
+
+    body: list[str] = [
+        f'<text x="{left}" y="24" font-size="14" font-weight="600">{title}</text>'
+    ]
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        value = y_max * frac
+        y = y_of(value)
+        body.append(
+            f'<line class="grid" x1="{left}" y1="{y:.1f}" x2="{left + plot_w}" y2="{y:.1f}"/>'
+        )
+        body.append(
+            f'<text class="muted" x="{left - 8}" y="{y + 4:.1f}" font-size="10" '
+            f'text-anchor="end">{value:.2f}</text>'
+        )
+    for x in xs:
+        body.append(
+            f'<text class="muted" x="{x_of(x):.1f}" y="{top + plot_h + 16}" '
+            f'font-size="11" text-anchor="middle">{x}</text>'
+        )
+    body.append(
+        f'<text class="muted" x="{left + plot_w / 2:.0f}" y="{top + plot_h + 34}" '
+        f'font-size="11" text-anchor="middle">{x_label}</text>'
+    )
+    body.append(
+        f'<text class="muted" x="16" y="{top + plot_h / 2:.0f}" font-size="11" '
+        f'transform="rotate(-90 16 {top + plot_h / 2:.0f})" '
+        f'text-anchor="middle">{y_label}</text>'
+    )
+    for slot, (label, values) in enumerate(series.items()):
+        points = [(x, values[x]) for x in xs if x in values]
+        path = " ".join(
+            f"{'M' if i == 0 else 'L'}{x_of(x):.1f},{y_of(v):.1f}"
+            for i, (x, v) in enumerate(points)
+        )
+        body.append(
+            f'<path class="s{slot}" d="{path}" fill="none" stroke-width="2"/>'
+        )
+        for x, v in points:
+            body.append(
+                f'<circle class="s{slot}" cx="{x_of(x):.1f}" cy="{y_of(v):.1f}" '
+                f'r="4"><title>{label} @{x}B: {v:.3f}</title></circle>'
+            )
+        # Direct label at the line's last point.
+        last_x, last_v = points[-1]
+        body.append(
+            f'<text x="{x_of(last_x) - 6:.1f}" y="{y_of(last_v) - 8:.1f}" '
+            f'font-size="10" text-anchor="end">{label}</text>'
+        )
+    body.append(
+        _legend(list(enumerate(series)), left, height - 12)
+    )
+    return _svg(width, height, "\n".join(body), n_series=len(series))
+
+
+def write_figure_svgs(runner, out_dir: str | Path) -> list[Path]:
+    """Render Figures 2-5 from a runner's cached grids; returns paths."""
+    from repro.analysis.fractions import level_fraction_rows
+    from repro.analysis.overheads import overhead_series
+    from repro.analysis.relative import relative_speed_rows
+
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    config = runner.config
+    levels = ("l1i", "l1d", "l2", "dram", "other")
+
+    for fig_name, rate in (("figure2", config.slow_rate), ("figure3", config.fast_rate)):
+        for grid_label, sram_label in (("baseline", "L2"), ("rampage", "SRAM")):
+            rows = level_fraction_rows(runner.grid(grid_label), rate)
+            svg = stacked_fraction_panel(
+                rows,
+                levels,
+                title=f"{fig_name}: {grid_label}, {format_rate(rate)}",
+                sram_label=sram_label,
+            )
+            path = out_dir / f"{fig_name}_{grid_label}.svg"
+            path.write_text(svg, encoding="utf-8")
+            written.append(path)
+
+    overhead = {
+        label: overhead_series(runner.grid(label), config.slow_rate)
+        for label in ("baseline", "rampage")
+    }
+    path = out_dir / "figure4.svg"
+    path.write_text(
+        line_chart(
+            overhead,
+            title=f"figure4: handler overhead, {format_rate(config.slow_rate)}",
+            y_label="handler refs / workload refs",
+        ),
+        encoding="utf-8",
+    )
+    written.append(path)
+
+    grids = [runner.grid("rampage_som"), runner.grid("twoway")]
+    for rate in config.issue_rates:
+        rows = relative_speed_rows(grids, rate)
+        series: dict[str, dict[int, float]] = {"rampage_som": {}, "twoway": {}}
+        for row in rows:
+            for label in series:
+                if label in row:
+                    series[label][row["size_bytes"]] = row[label]
+        path = out_dir / f"figure5_{format_rate(rate)}.svg"
+        path.write_text(
+            line_chart(
+                series,
+                title=f"figure5: slowdown vs best, {format_rate(rate)}",
+                y_label="n (1.n x slower than best)",
+            ),
+            encoding="utf-8",
+        )
+        written.append(path)
+    return written

@@ -1,0 +1,39 @@
+"""Figures 2-3: fraction of run time per hierarchy level.
+
+The paper plots, for each block/page size, the share of simulated run
+time spent in L1i, L1d, L2 (or the SRAM main memory), and DRAM -- at a
+200 MHz issue rate (Figure 2) and 4 GHz (Figure 3).  Two properties it
+calls out, both of which the model reproduces structurally:
+
+* "L1 data traffic is a very low fraction because hits are assumed to
+  be fully pipelined; the 'L1d' time accounted for is purely that taken
+  to maintain inclusion",
+* the RAMpage system "is more tolerant of the increased DRAM latency"
+  as the CPU is scaled up.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.runtime import RunGrid
+
+LEVEL_ORDER = ("l1i", "l1d", "l2", "dram", "other")
+
+
+def level_fraction_rows(grid: RunGrid, issue_rate_hz: int) -> list[dict[str, float]]:
+    """One figure panel: per-size level fractions at one issue rate."""
+    rows = []
+    for record in grid.row(issue_rate_hz):
+        fractions = record.level_fractions
+        row: dict[str, float] = {"size_bytes": record.size_bytes}
+        for level in LEVEL_ORDER:
+            row[level] = fractions.get(level, 0.0)
+        rows.append(row)
+    return rows
+
+
+def dram_fraction_series(grid: RunGrid, issue_rate_hz: int) -> dict[int, float]:
+    """Size -> DRAM time fraction, the headline series of Figures 2-3."""
+    return {
+        record.size_bytes: record.level_fractions.get("dram", 0.0)
+        for record in grid.row(issue_rate_hz)
+    }

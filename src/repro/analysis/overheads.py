@@ -1,0 +1,35 @@
+"""Figure 4: TLB miss and page fault handling overheads.
+
+"Overhead is the ratio of additional TLB miss and page fault handling
+references to the total number of references in the benchmark trace
+files.  The baseline hierarchy data is the same across all block
+sizes."  Context-switch references are excluded, exactly as in
+:attr:`repro.core.stats.SimStats.overhead_refs`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.runtime import RunGrid
+
+
+def overhead_rows(
+    grids: list[RunGrid], issue_rate_hz: int
+) -> list[dict[str, object]]:
+    """Overhead ratio per size for each hierarchy, at one issue rate."""
+    rows: list[dict[str, object]] = []
+    sizes = sorted({size for grid in grids for size in grid.sizes()})
+    for size in sizes:
+        row: dict[str, object] = {"size_bytes": size}
+        for grid in grids:
+            if (issue_rate_hz, size) in grid:
+                row[grid.label] = grid.cell(issue_rate_hz, size).overhead_ratio
+        rows.append(row)
+    return rows
+
+
+def overhead_series(grid: RunGrid, issue_rate_hz: int) -> dict[int, float]:
+    """Size -> overhead ratio for one hierarchy."""
+    return {
+        record.size_bytes: record.overhead_ratio
+        for record in grid.row(issue_rate_hz)
+    }

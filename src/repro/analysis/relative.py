@@ -1,0 +1,49 @@
+"""Figure 5: relative speed of RAMpage (switch on miss) vs 2-way L2.
+
+"The relative measure is n, where n means 1.n times slower than the
+best time for each CPU speed."  For each issue rate the best time over
+*both* hierarchies and all sizes is the reference; each cell is then
+``time / best - 1``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.runtime import RunGrid
+
+
+def relative_speed_rows(
+    grids: list[RunGrid], issue_rate_hz: int
+) -> list[dict[str, object]]:
+    """Per-size relative slowdowns against the per-rate best time."""
+    best_ps = min(
+        record.time_ps
+        for grid in grids
+        for record in grid.row(issue_rate_hz)
+    )
+    sizes = sorted({size for grid in grids for size in grid.sizes()})
+    rows: list[dict[str, object]] = []
+    for size in sizes:
+        row: dict[str, object] = {"size_bytes": size}
+        for grid in grids:
+            if (issue_rate_hz, size) in grid:
+                cell = grid.cell(issue_rate_hz, size)
+                row[grid.label] = cell.time_ps / best_ps - 1.0
+        rows.append(row)
+    return rows
+
+
+def relative_speed_series(
+    grids: list[RunGrid], issue_rates: list[int]
+) -> dict[str, dict[int, dict[int, float]]]:
+    """Full Figure 5 data: label -> rate -> size -> slowdown."""
+    series: dict[str, dict[int, dict[int, float]]] = {
+        grid.label: {} for grid in grids
+    }
+    for rate in issue_rates:
+        rows = relative_speed_rows(grids, rate)
+        for row in rows:
+            size = row["size_bytes"]
+            for grid in grids:
+                if grid.label in row:
+                    series[grid.label].setdefault(rate, {})[size] = row[grid.label]
+    return series

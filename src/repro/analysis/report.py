@@ -1,0 +1,82 @@
+"""Plain-text rendering of tables and figure data.
+
+Every experiment renders through these helpers so the benchmark harness
+and CLI produce consistent, diff-friendly output.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_rate(issue_rate_hz: int) -> str:
+    """200_000_000 -> '200MHz', 4_000_000_000 -> '4GHz'."""
+    if issue_rate_hz % 1_000_000_000 == 0:
+        return f"{issue_rate_hz // 1_000_000_000}GHz"
+    if issue_rate_hz % 1_000_000 == 0:
+        return f"{issue_rate_hz // 1_000_000}MHz"
+    return f"{issue_rate_hz}Hz"
+
+
+def format_size(size_bytes: int) -> str:
+    """128 -> '128', 4096 -> '4096' (paper uses raw byte columns)."""
+    return str(size_bytes)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    note: str = "",
+) -> str:
+    """Monospace table with a title line and optional footnote."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    lines = [title]
+    lines.append("  ".join(h.rjust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in cells:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    if note:
+        lines.append(note)
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    title: str,
+    series: dict[str, dict[int, float]],
+    unit: str = "",
+    width: int = 40,
+) -> str:
+    """ASCII bar chart: one group per x value, one bar per series.
+
+    ``series`` maps label -> {x -> value}.  Used for the figure
+    experiments so a terminal run still *shows* the figure shape.
+    """
+    xs = sorted({x for values in series.values() for x in values})
+    peak = max(
+        (abs(v) for values in series.values() for v in values.values()),
+        default=0.0,
+    )
+    lines = [title]
+    label_width = max((len(label) for label in series), default=0)
+    for x in xs:
+        lines.append(f"  {x}:")
+        for label, values in series.items():
+            if x not in values:
+                continue
+            value = values[x]
+            bar = "#" * (round(width * abs(value) / peak) if peak else 0)
+            lines.append(
+                f"    {label.ljust(label_width)} {value:8.3f}{unit} |{bar}"
+            )
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

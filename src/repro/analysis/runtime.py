@@ -1,0 +1,154 @@
+"""Run-time grids: the structure behind Tables 3, 4 and 5.
+
+A :class:`RunRecord` is the durable, JSON-friendly residue of one
+simulation (what the experiment cache stores); a :class:`RunGrid`
+organises records over the paper's two sweep axes -- instruction issue
+rate and L2-block/SRAM-page size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ConfigurationError
+from repro.systems.base import SimulationResult
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One simulation, reduced to plain data."""
+
+    label: str
+    kind: str
+    issue_rate_hz: int
+    size_bytes: int
+    switch_on_miss: bool
+    seconds: float
+    time_ps: int
+    stats: dict = field(hash=False)
+
+    @classmethod
+    def from_result(cls, label: str, size_bytes: int, result: SimulationResult) -> "RunRecord":
+        return cls(
+            label=label,
+            kind=result.params.kind,
+            issue_rate_hz=result.params.issue_rate_hz,
+            size_bytes=size_bytes,
+            switch_on_miss=result.params.switch_on_miss,
+            seconds=result.seconds,
+            time_ps=result.time_ps,
+            stats=result.stats.as_dict(),
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunRecord":
+        return cls(
+            label=data["label"],
+            kind=data["kind"],
+            issue_rate_hz=data["issue_rate_hz"],
+            size_bytes=data["size_bytes"],
+            switch_on_miss=data["switch_on_miss"],
+            seconds=data["seconds"],
+            time_ps=data["time_ps"],
+            stats=data["stats"],
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "kind": self.kind,
+            "issue_rate_hz": self.issue_rate_hz,
+            "size_bytes": self.size_bytes,
+            "switch_on_miss": self.switch_on_miss,
+            "seconds": self.seconds,
+            "time_ps": self.time_ps,
+            "stats": self.stats,
+        }
+
+    @property
+    def level_times(self) -> dict[str, int]:
+        return self.stats["level_times"]
+
+    @property
+    def level_fractions(self) -> dict[str, float]:
+        total = sum(self.level_times.values())
+        if total == 0:
+            return {name: 0.0 for name in self.level_times}
+        return {name: value / total for name, value in self.level_times.items()}
+
+    @property
+    def workload_refs(self) -> int:
+        return self.stats["ifetches"] + self.stats["reads"] + self.stats["writes"]
+
+    @property
+    def overhead_refs(self) -> int:
+        return self.stats["tlb_handler_refs"] + self.stats["fault_handler_refs"]
+
+    @property
+    def overhead_ratio(self) -> float:
+        refs = self.workload_refs
+        return self.overhead_refs / refs if refs else 0.0
+
+
+class RunGrid:
+    """Records indexed by (issue_rate_hz, size_bytes)."""
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self._cells: dict[tuple[int, int], RunRecord] = {}
+
+    def add(self, record: RunRecord) -> None:
+        key = (record.issue_rate_hz, record.size_bytes)
+        if key in self._cells:
+            raise ConfigurationError(f"duplicate grid cell {key} in {self.label!r}")
+        self._cells[key] = record
+
+    def cell(self, issue_rate_hz: int, size_bytes: int) -> RunRecord:
+        try:
+            return self._cells[(issue_rate_hz, size_bytes)]
+        except KeyError:
+            raise ConfigurationError(
+                f"grid {self.label!r} has no cell "
+                f"({issue_rate_hz} Hz, {size_bytes} B)"
+            ) from None
+
+    def issue_rates(self) -> list[int]:
+        return sorted({rate for rate, _ in self._cells})
+
+    def sizes(self) -> list[int]:
+        return sorted({size for _, size in self._cells})
+
+    def row(self, issue_rate_hz: int) -> list[RunRecord]:
+        """All records at one issue rate, ordered by size."""
+        return [
+            self.cell(issue_rate_hz, size)
+            for size in self.sizes()
+            if (issue_rate_hz, size) in self._cells
+        ]
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return key in self._cells
+
+
+def best_cell(grid: RunGrid, issue_rate_hz: int) -> RunRecord:
+    """Fastest record in one issue-rate row (the paper's "best time")."""
+    row = grid.row(issue_rate_hz)
+    if not row:
+        raise ConfigurationError(
+            f"grid {grid.label!r} empty at {issue_rate_hz} Hz"
+        )
+    return min(row, key=lambda record: record.time_ps)
+
+
+def speedup(slower: RunRecord, faster: RunRecord) -> float:
+    """Paper-style speedup: how much faster ``faster`` is, as a fraction.
+
+    E.g. 0.26 means 26 % faster (the paper's "26% faster than the
+    baseline hierarchy").
+    """
+    if faster.time_ps <= 0:
+        raise ConfigurationError("cannot compute speedup against zero time")
+    return slower.time_ps / faster.time_ps - 1.0

@@ -1,0 +1,155 @@
+"""Three-Cs miss classification for the conventional L2.
+
+RAMpage's performance case rests on removing *conflict* misses: "through
+managing the lowest level of SRAM as a paged memory, RAMpage is able to
+achieve full associativity without a hit penalty and the resulting
+reduction in misses compensates for the extra time required for each
+miss" (section 1).  This module quantifies exactly that, using Hill's
+classic decomposition of the baseline L2's misses:
+
+* **compulsory** -- the block was never referenced before (would miss
+  even in an infinite cache),
+* **capacity** -- a fully associative LRU cache of the same size would
+  also miss,
+* **conflict** -- only the real (limited-associativity) cache misses.
+
+Implementation: :class:`ThreeCsProbe` shadows the real L2 with an
+infinite first-touch set and a fully associative LRU model, classifying
+each real miss at the moment it happens.  The probe attaches to a
+:class:`~repro.systems.conventional.ConventionalSystem` subclass so the
+L2 access stream is the genuine one (filtered through the L1s, polluted
+by handler software).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.core.params import MachineParams
+from repro.systems.conventional import ConventionalSystem
+from repro.systems.simulator import Simulator
+from repro.trace.interleave import InterleavedWorkload
+from repro.trace.synthetic import SyntheticProgram
+
+
+@dataclass(frozen=True)
+class ThreeCsResult:
+    """Counts of the decomposed L2 misses."""
+
+    accesses: int
+    hits: int
+    compulsory: int
+    capacity: int
+    conflict: int
+
+    @property
+    def misses(self) -> int:
+        return self.compulsory + self.capacity + self.conflict
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def fraction(self, kind: str) -> float:
+        """Share of all misses belonging to ``kind``."""
+        if kind not in ("compulsory", "capacity", "conflict"):
+            raise ConfigurationError(f"unknown miss class {kind!r}")
+        return getattr(self, kind) / self.misses if self.misses else 0.0
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "compulsory": self.compulsory,
+            "capacity": self.capacity,
+            "conflict": self.conflict,
+            "miss_rate": self.miss_rate,
+        }
+
+
+class ThreeCsProbe:
+    """Shadow models classifying one cache's miss stream."""
+
+    __slots__ = ("_capacity_blocks", "_seen", "_lru", "accesses", "hits",
+                 "compulsory", "capacity", "conflict")
+
+    def __init__(self, capacity_blocks: int) -> None:
+        if capacity_blocks <= 0:
+            raise ConfigurationError("capacity_blocks must be positive")
+        self._capacity_blocks = capacity_blocks
+        self._seen: set[int] = set()
+        self._lru: OrderedDict[int, None] = OrderedDict()
+        self.accesses = 0
+        self.hits = 0
+        self.compulsory = 0
+        self.capacity = 0
+        self.conflict = 0
+
+    def observe(self, block: int, real_hit: bool) -> None:
+        """Record one access to the real cache and classify its miss."""
+        self.accesses += 1
+        lru = self._lru
+        lru_hit = block in lru
+        if lru_hit:
+            lru.move_to_end(block)
+        else:
+            lru[block] = None
+            if len(lru) > self._capacity_blocks:
+                lru.popitem(last=False)
+        if real_hit:
+            self.hits += 1
+        elif block not in self._seen:
+            self.compulsory += 1
+        elif not lru_hit:
+            self.capacity += 1
+        else:
+            self.conflict += 1
+        self._seen.add(block)
+
+    def result(self) -> ThreeCsResult:
+        return ThreeCsResult(
+            accesses=self.accesses,
+            hits=self.hits,
+            compulsory=self.compulsory,
+            capacity=self.capacity,
+            conflict=self.conflict,
+        )
+
+
+class _ProbedConventionalSystem(ConventionalSystem):
+    """Conventional machine with a three-Cs probe on its L2."""
+
+    def __init__(self, params: MachineParams) -> None:
+        super().__init__(params)
+        self.probe = ThreeCsProbe(params.l2.num_blocks)
+
+    def _below_l1_fetch(self, paddr: int) -> None:
+        l2_block = paddr >> self._l2_block_bits
+        real_hit = self.l2.slot_of(l2_block) != -1
+        self.probe.observe(l2_block, real_hit)
+        super()._below_l1_fetch(paddr)
+
+
+def classify_l2_misses(
+    params: MachineParams,
+    programs: Sequence[SyntheticProgram],
+    slice_refs: int = 20_000,
+) -> ThreeCsResult:
+    """Run the workload and decompose the L2's misses.
+
+    ``params`` must describe a conventional machine; the three-Cs
+    question is about its L2 (RAMpage's SRAM level is already fully
+    associative, which is the point of the comparison).
+    """
+    if params.kind != "conventional":
+        raise ConfigurationError(
+            "three-Cs classification applies to the conventional L2; "
+            "RAMpage's SRAM main memory is fully associative by design"
+        )
+    system = _ProbedConventionalSystem(params)
+    workload = InterleavedWorkload(programs, slice_refs=slice_refs)
+    Simulator(system, workload).run()
+    return system.probe.result()

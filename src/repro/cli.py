@@ -1,0 +1,184 @@
+"""Command-line interface: ``rampage-sim``.
+
+Subcommands::
+
+    rampage-sim list                      # available experiments
+    rampage-sim run table3 [table4 ...]   # run experiments, print reports
+    rampage-sim run all --out results/    # everything, saved to files
+    rampage-sim sweep --kind rampage ...  # one ad-hoc simulation cell
+
+Workload scaling comes from the ``REPRO_*`` environment variables (see
+:mod:`repro.experiments.config`) or the ``--scale`` / ``--slice-refs``
+flags, which take precedence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import Callable, Sequence
+
+from repro.experiments import ExperimentConfig, Runner
+from repro.experiments import (
+    figure4,
+    figure5,
+    per_program,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    warmup,
+)
+from repro.experiments.figures23 import run_figure2, run_figure3
+from repro.experiments.runner import ExperimentOutput
+from repro.systems.factory import (
+    baseline_machine,
+    rampage_machine,
+    twoway_machine,
+)
+from repro.systems.simulator import simulate
+from repro.trace.synthetic import build_workload
+
+EXPERIMENTS: dict[str, Callable[[Runner], ExperimentOutput]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "figure2": run_figure2,
+    "figure3": run_figure3,
+    "figure4": figure4.run,
+    "figure5": figure5.run,
+    "warmup": warmup.run,
+    "per_program": per_program.run,
+}
+
+_MACHINES = {
+    "baseline": baseline_machine,
+    "twoway": twoway_machine,
+    "rampage": rampage_machine,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rampage-sim",
+        description="RAMpage memory-hierarchy reproduction (ASPLOS 1998)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_cmd = sub.add_parser("run", help="run experiments and print reports")
+    run_cmd.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment names ({', '.join(EXPERIMENTS)}) or 'all'",
+    )
+    run_cmd.add_argument("--scale", type=float, help="workload scale factor")
+    run_cmd.add_argument("--slice-refs", type=int, help="scheduling quantum")
+    run_cmd.add_argument("--out", help="directory to write report files to")
+
+    figures_cmd = sub.add_parser(
+        "figures", help="render Figures 2-5 as SVG files"
+    )
+    figures_cmd.add_argument("--out", default="results/figures")
+    figures_cmd.add_argument("--scale", type=float, help="workload scale factor")
+    figures_cmd.add_argument("--slice-refs", type=int, help="scheduling quantum")
+
+    sweep_cmd = sub.add_parser("sweep", help="run one ad-hoc simulation")
+    sweep_cmd.add_argument(
+        "--kind", choices=sorted(_MACHINES), default="rampage"
+    )
+    sweep_cmd.add_argument("--issue-rate", type=int, default=1_000_000_000)
+    sweep_cmd.add_argument("--size", type=int, default=1024, help="block/page bytes")
+    sweep_cmd.add_argument("--switch-on-miss", action="store_true")
+    sweep_cmd.add_argument("--scale", type=float, default=0.001)
+    sweep_cmd.add_argument("--slice-refs", type=int, default=20_000)
+    return parser
+
+
+def _config_with_flags(args: argparse.Namespace) -> ExperimentConfig:
+    config = ExperimentConfig.from_env()
+    if getattr(args, "scale", None) is not None:
+        config = replace(config, scale=args.scale)
+    if getattr(args, "slice_refs", None) is not None:
+        config = replace(config, slice_refs=args.slice_refs)
+    return config
+
+
+def _cmd_list() -> int:
+    for name, func in EXPERIMENTS.items():
+        doc = (func.__doc__ or "").strip().splitlines()
+        print(f"{name:10s} {doc[0] if doc else ''}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = list(args.experiments)
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    runner = Runner(_config_with_flags(args))
+    for name in names:
+        output = EXPERIMENTS[name](runner)
+        print(output.text)
+        print()
+        if args.out:
+            path = output.write_to(args.out)
+            print(f"[written to {path}]")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    builder = _MACHINES[args.kind]
+    kwargs = {}
+    if args.kind == "rampage":
+        params = builder(args.issue_rate, args.size, switch_on_miss=args.switch_on_miss, **kwargs)
+    else:
+        if args.switch_on_miss:
+            print("--switch-on-miss requires --kind rampage", file=sys.stderr)
+            return 2
+        params = builder(args.issue_rate, args.size, **kwargs)
+    programs = build_workload(args.scale)
+    result = simulate(params, programs, slice_refs=args.slice_refs)
+    stats = result.stats
+    print(f"machine: {args.kind} @{args.issue_rate} Hz, unit {args.size} B")
+    print(f"simulated time: {result.seconds:.6f} s")
+    print(f"workload refs: {stats.workload_refs}")
+    print(f"TLB misses: {stats.tlb_misses}  page faults: {stats.page_faults}")
+    print(f"L2 misses: {stats.l2_misses}  DRAM accesses: {stats.dram_accesses}")
+    print(f"level fractions: { {k: round(v, 4) for k, v in result.level_fractions.items()} }")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.analysis.figures_svg import write_figure_svgs
+
+    runner = Runner(_config_with_flags(args))
+    paths = write_figure_svgs(runner, args.out)
+    for path in paths:
+        print(f"wrote {path}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figures":
+        return _cmd_figures(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

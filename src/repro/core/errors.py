@@ -1,0 +1,33 @@
+"""Exception hierarchy for the RAMpage reproduction.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers
+can catch one type at the API boundary.  Configuration mistakes raise
+:class:`ConfigurationError` at construction time -- never during a run --
+so a simulation that starts will not die half way through a sweep because
+of a bad parameter.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A machine or experiment parameter is invalid or inconsistent.
+
+    Raised while building parameter objects or systems, e.g. a cache
+    whose block size is not a power of two, or an SRAM page smaller than
+    an L1 block.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """An invariant was violated while a simulation was running.
+
+    These indicate bugs in the simulator (or corrupted state injected by
+    a test), not user error; they should never occur in normal use.
+    """
+
+
+class TraceFormatError(ReproError, ValueError):
+    """A trace file or trace record could not be parsed or validated."""

@@ -1,0 +1,67 @@
+"""Deterministic pseudo-random number generator for replacement policies.
+
+The paper's 2-way associative L2 and the fully associative TLB both use
+*random* replacement (sections 4.3 and 4.7).  Simulations must be exactly
+reproducible, so instead of :mod:`random` (whose sequence may change
+between Python versions for some methods) we use a tiny xorshift64*
+generator with an explicit seed.  It is fast enough to sit on the miss
+path of a trace-driven simulator.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+_MULT = 0x2545F4914F6CDD1D
+
+
+class XorShiftRNG:
+    """xorshift64* generator producing uniform integers.
+
+    Parameters
+    ----------
+    seed:
+        Any integer; a zero seed is remapped to a fixed non-zero value
+        because xorshift has an all-zero fixed point.
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, seed: int = 0x9E3779B97F4A7C15) -> None:
+        state = seed & _MASK64
+        if state == 0:
+            state = 0x9E3779B97F4A7C15
+        self._state = state
+
+    def next_u64(self) -> int:
+        """Return the next 64-bit unsigned integer in the sequence."""
+        x = self._state
+        x ^= (x >> 12)
+        x ^= (x << 25) & _MASK64
+        x ^= (x >> 27)
+        self._state = x
+        return (x * _MULT) & _MASK64
+
+    def below(self, bound: int) -> int:
+        """Return a uniform integer in ``[0, bound)``.
+
+        Uses simple modulo reduction; the bias is negligible for the
+        tiny bounds (way counts, TLB sizes) used in replacement.
+        """
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        return self.next_u64() % bound
+
+    def coin(self) -> bool:
+        """Return a uniformly random boolean."""
+        return bool(self.next_u64() & 1)
+
+    def fork(self) -> "XorShiftRNG":
+        """Return a new generator seeded from this one's stream.
+
+        Used to hand independent streams to each cache/TLB so adding a
+        component does not perturb the replacement decisions of others.
+        """
+        return XorShiftRNG(self.next_u64())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"XorShiftRNG(state={self._state:#x})"

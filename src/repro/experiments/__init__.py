@@ -1,0 +1,17 @@
+"""Experiment definitions: one module per paper table/figure.
+
+Every experiment consumes a shared :class:`repro.experiments.runner.Runner`
+(which caches simulation runs on disk, so the figures reuse the table
+sweeps) and produces an :class:`repro.experiments.runner.ExperimentOutput`
+with both structured data and a rendered text report.
+
+Scaling: the paper simulates 1.1 G references; these experiments default
+to a reduced workload (see :class:`repro.experiments.config.ExperimentConfig`
+and EXPERIMENTS.md).  Set ``REPRO_SCALE`` / ``REPRO_RATES`` /
+``REPRO_SIZES`` to widen a run.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentOutput, Runner
+
+__all__ = ["ExperimentConfig", "Runner", "ExperimentOutput"]

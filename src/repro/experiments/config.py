@@ -1,0 +1,105 @@
+"""Experiment configuration and environment overrides.
+
+The paper's full workload (1.1 G references, 500 k-reference time
+slices, five issue rates, six sizes) is far beyond what a pure-Python
+simulator should chew through by default, so experiments run a reduced
+configuration whose *shape* (see DESIGN.md section 7) is preserved:
+
+* ``scale`` multiplies each Table 2 program's reference count,
+* ``slice_refs`` is the scheduling quantum.  It is deliberately *not*
+  scaled in proportion (that would shrink slices to a few thousand
+  references and TLB refill after every switch would swamp the
+  measurement); EXPERIMENTS.md discusses the residual distortion.
+
+Environment overrides (picked up by :meth:`ExperimentConfig.from_env`):
+
+=================  =============================================
+variable           meaning
+=================  =============================================
+REPRO_SCALE        workload scale factor (float)
+REPRO_SLICE_REFS   scheduling quantum in references (int)
+REPRO_RATES        comma-separated issue rates in Hz
+REPRO_SIZES        comma-separated block/page sizes in bytes
+REPRO_SEED         workload + replacement seed (int)
+REPRO_CACHE_DIR    run-record cache directory ('' disables)
+=================  =============================================
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.core.errors import ConfigurationError
+
+DEFAULT_RATES = (200_000_000, 1_000_000_000, 4_000_000_000)
+DEFAULT_SIZES = (128, 256, 512, 1024, 2048, 4096)
+DEFAULT_CACHE_DIR = Path(".repro_cache")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by every experiment."""
+
+    scale: float = 0.003
+    slice_refs: int = 20_000
+    issue_rates: tuple[int, ...] = DEFAULT_RATES
+    sizes: tuple[int, ...] = DEFAULT_SIZES
+    seed: int = 0
+    cache_dir: Path | None = DEFAULT_CACHE_DIR
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {self.scale}")
+        if self.slice_refs <= 0:
+            raise ConfigurationError(
+                f"slice_refs must be positive, got {self.slice_refs}"
+            )
+        if not self.issue_rates or not self.sizes:
+            raise ConfigurationError("issue_rates and sizes must be non-empty")
+
+    @property
+    def slow_rate(self) -> int:
+        """The Figure 2 issue rate (paper: 200 MHz)."""
+        return min(self.issue_rates)
+
+    @property
+    def fast_rate(self) -> int:
+        """The Figure 3 issue rate (paper: 4 GHz)."""
+        return max(self.issue_rates)
+
+    def quick(self) -> "ExperimentConfig":
+        """A much smaller variant for tests and smoke runs."""
+        return replace(
+            self,
+            scale=min(self.scale, 0.0002),
+            slice_refs=min(self.slice_refs, 4_000),
+            issue_rates=(self.slow_rate, self.fast_rate),
+            sizes=(128, 1024, 4096),
+            cache_dir=None,
+        )
+
+    @classmethod
+    def from_env(cls, env: dict[str, str] | None = None) -> "ExperimentConfig":
+        """Build from defaults plus ``REPRO_*`` environment overrides."""
+        env = dict(os.environ) if env is None else env
+        kwargs: dict[str, object] = {}
+        if "REPRO_SCALE" in env:
+            kwargs["scale"] = float(env["REPRO_SCALE"])
+        if "REPRO_SLICE_REFS" in env:
+            kwargs["slice_refs"] = int(env["REPRO_SLICE_REFS"])
+        if "REPRO_RATES" in env:
+            kwargs["issue_rates"] = tuple(
+                int(float(token)) for token in env["REPRO_RATES"].split(",") if token
+            )
+        if "REPRO_SIZES" in env:
+            kwargs["sizes"] = tuple(
+                int(token) for token in env["REPRO_SIZES"].split(",") if token
+            )
+        if "REPRO_SEED" in env:
+            kwargs["seed"] = int(env["REPRO_SEED"])
+        if "REPRO_CACHE_DIR" in env:
+            raw = env["REPRO_CACHE_DIR"]
+            kwargs["cache_dir"] = Path(raw) if raw else None
+        return cls(**kwargs)  # type: ignore[arg-type]

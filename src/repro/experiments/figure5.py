@@ -1,0 +1,50 @@
+"""Figure 5: RAMpage (switch on miss) vs 2-way associative L2.
+
+"RAMpage (context switches on misses) speed vs. 2-way associative L2
+cache for a range of CPU speeds.  The relative measure is n, where n
+means 1.n times slower than the best time for each CPU speed."  The
+paper notes "the closeness of the RAMpage and 2-way associative times"
+and that "larger block sizes become favourable for the 2-way
+associative hierarchy as the CPU-DRAM speed gap grows".
+"""
+
+from __future__ import annotations
+
+from repro.analysis.relative import relative_speed_rows
+from repro.analysis.report import format_rate, render_table
+from repro.experiments.runner import ExperimentOutput, Runner
+
+NAME = "figure5"
+TITLE = (
+    "Figure 5: relative slowdown (n = 1.n x slower than the per-rate best) "
+    "of RAMpage+switch-on-miss vs 2-way L2"
+)
+
+
+def run(runner: Runner | None = None) -> ExperimentOutput:
+    runner = runner if runner is not None else Runner()
+    grids = [runner.grid("rampage_som"), runner.grid("twoway")]
+    sections = []
+    data: dict[str, object] = {"rates": []}
+    for rate in runner.config.issue_rates:
+        rows = relative_speed_rows(grids, rate)
+        table = render_table(
+            f"relative slowdown at {format_rate(rate)}",
+            headers=("size", "rampage_som", "twoway"),
+            rows=[
+                [
+                    row["size_bytes"],
+                    f"{row.get('rampage_som', float('nan')):.3f}",
+                    f"{row.get('twoway', float('nan')):.3f}",
+                ]
+                for row in rows
+            ],
+        )
+        sections.append(table)
+        data["rates"].append({"issue_rate_hz": rate, "rows": rows})
+    return ExperimentOutput(
+        name=NAME,
+        title=TITLE,
+        text=TITLE + "\n\n" + "\n\n".join(sections),
+        data=data,
+    )

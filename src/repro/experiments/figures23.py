@@ -1,0 +1,66 @@
+"""Figures 2 and 3: fraction of run time per hierarchy level.
+
+Figure 2 plots the per-level time breakdown against block/page size at
+a 200 MHz issue rate, for (a) the direct-mapped-L2 machine and (b)
+RAMpage; Figure 3 repeats it at 4 GHz.  "The differences between the
+two figures illustrate the effect of scaling CPU speed up without
+improving DRAM speed: the RAMpage system is more tolerant of the
+increased DRAM latency."
+"""
+
+from __future__ import annotations
+
+from repro.analysis.fractions import LEVEL_ORDER, level_fraction_rows
+from repro.analysis.report import format_rate, render_table
+from repro.experiments.runner import ExperimentOutput, Runner
+
+
+def _panel(runner: Runner, label: str, rate: int, sram_label: str) -> tuple[str, list[dict]]:
+    grid = runner.grid(label)
+    rows = level_fraction_rows(grid, rate)
+    headers = ("size", "l1i", "l1d", sram_label, "dram", "other")
+    table = render_table(
+        f"({label}) fraction of simulated run time per level, {format_rate(rate)}",
+        headers=headers,
+        rows=[
+            [row["size_bytes"], *[f"{row[level]:.3f}" for level in LEVEL_ORDER]]
+            for row in rows
+        ],
+    )
+    return table, rows
+
+
+def _run_figure(name: str, rate_attr: str, runner: Runner | None) -> ExperimentOutput:
+    runner = runner if runner is not None else Runner()
+    rate = getattr(runner.config, rate_attr)
+    title = (
+        f"Figure {'2' if rate_attr == 'slow_rate' else '3'}: fraction of run "
+        f"time in each hierarchy level at {format_rate(rate)}"
+    )
+    base_table, base_rows = _panel(runner, "baseline", rate, "l2")
+    ramp_table, ramp_rows = _panel(runner, "rampage", rate, "sram")
+    note = (
+        "Note: the 'l2' column is the SRAM main memory for the RAMpage "
+        "panel; 'l1d' is purely inclusion maintenance (data hits are fully "
+        "pipelined)."
+    )
+    return ExperimentOutput(
+        name=name,
+        title=title,
+        text=f"{title}\n\n{base_table}\n\n{ramp_table}\n\n{note}",
+        data={
+            "issue_rate_hz": rate,
+            "baseline": base_rows,
+            "rampage": ramp_rows,
+        },
+    )
+
+
+def run_figure2(runner: Runner | None = None) -> ExperimentOutput:
+    """Figure 2: level fractions at the slowest swept issue rate."""
+    return _run_figure("figure2", "slow_rate", runner)
+
+
+def run_figure3(runner: Runner | None = None) -> ExperimentOutput:
+    """Figure 3: level fractions at the fastest swept issue rate."""
+    return _run_figure("figure3", "fast_rate", runner)

@@ -1,0 +1,80 @@
+"""Per-program behaviour (paper section 6.3).
+
+"Other work in progress includes more detailed evaluation of
+differences in individual application behaviour, to explore the value
+of a variable SRAM page size."  This experiment runs the RAMpage
+machine once and attributes TLB misses and page faults to each Table 2
+program, normalised by the references the program contributed --
+showing which applications drive the software overhead.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_rate, render_table
+from repro.experiments.runner import ExperimentOutput, Runner
+from repro.systems.factory import build_system, rampage_machine
+from repro.trace.benchmarks import TABLE2_PROGRAMS
+from repro.trace.interleave import InterleavedWorkload
+from repro.trace.synthetic import build_workload
+from repro.systems.simulator import Simulator
+
+NAME = "per_program"
+TITLE = "Per-program TLB misses and page faults on RAMpage (section 6.3)"
+
+
+def run(
+    runner: Runner | None = None,
+    page_bytes: int = 1024,
+    issue_rate_hz: int = 1_000_000_000,
+) -> ExperimentOutput:
+    runner = runner if runner is not None else Runner()
+    config = runner.config
+    system = build_system(rampage_machine(issue_rate_hz, page_bytes))
+    programs = build_workload(config.scale, seed=config.seed)
+    workload = InterleavedWorkload(programs, slice_refs=config.slice_refs)
+    Simulator(system, workload).run()
+    stats = system.stats
+
+    refs_by_pid = {stream.pid: stream.consumed for stream in workload.streams}
+    rows = []
+    data_rows = []
+    for pid, spec in enumerate(TABLE2_PROGRAMS):
+        refs = refs_by_pid.get(pid, 0)
+        tlb_misses = stats.tlb_misses_by_pid.get(pid, 0)
+        faults = stats.faults_by_pid.get(pid, 0)
+        tlb_rate = tlb_misses / refs if refs else 0.0
+        fault_rate = faults / refs if refs else 0.0
+        rows.append(
+            (
+                spec.name,
+                refs,
+                tlb_misses,
+                f"{tlb_rate * 100:.2f}%",
+                faults,
+                f"{fault_rate * 1000:.2f}",
+            )
+        )
+        data_rows.append(
+            {
+                "name": spec.name,
+                "pid": pid,
+                "refs": refs,
+                "tlb_misses": tlb_misses,
+                "tlb_miss_rate": tlb_rate,
+                "faults": faults,
+                "faults_per_kref": fault_rate * 1000,
+            }
+        )
+    table = render_table(
+        f"{TITLE} -- page {page_bytes} B, {format_rate(issue_rate_hz)}",
+        headers=("program", "refs", "TLB misses", "TLB rate", "faults", "faults/kref"),
+        rows=rows,
+        note="Streaming and pointer-chasing programs dominate the fault "
+        "budget; loop-dominated fp kernels barely miss the TLB.",
+    )
+    return ExperimentOutput(
+        name=NAME,
+        title=TITLE,
+        text=table,
+        data={"programs": data_rows, "page_bytes": page_bytes},
+    )

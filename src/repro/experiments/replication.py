@@ -1,0 +1,109 @@
+"""Multi-seed replication: statistical confidence for simulation claims.
+
+The paper reports single trace-driven runs; with synthetic workloads we
+can do better -- regenerate the workload under several seeds and report
+mean, standard deviation and a t-based 95% confidence interval for any
+scalar metric.  :func:`compare` replicates two machines and tests
+whether one is faster with non-overlapping confidence intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from scipy import stats as scipy_stats
+
+from repro.core.errors import ConfigurationError
+from repro.core.params import MachineParams
+from repro.experiments.config import ExperimentConfig
+from repro.systems.base import SimulationResult
+from repro.systems.simulator import simulate
+from repro.trace.synthetic import build_workload
+
+MetricFn = Callable[[SimulationResult], float]
+
+
+def seconds_metric(result: SimulationResult) -> float:
+    """The default metric: simulated run time in seconds."""
+    return result.seconds
+
+
+@dataclass(frozen=True)
+class ReplicationResult:
+    """Summary statistics of one metric across seeds."""
+
+    values: tuple[float, ...]
+    mean: float
+    std: float
+    ci95_low: float
+    ci95_high: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "ReplicationResult":
+        if len(values) < 2:
+            raise ConfigurationError(
+                f"replication needs at least 2 seeds, got {len(values)}"
+            )
+        values = tuple(float(v) for v in values)
+        n = len(values)
+        mean = sum(values) / n
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+        std = var**0.5
+        half_width = float(
+            scipy_stats.t.ppf(0.975, df=n - 1) * std / n**0.5
+        )
+        return cls(
+            values=values,
+            mean=mean,
+            std=std,
+            ci95_low=mean - half_width,
+            ci95_high=mean + half_width,
+        )
+
+    @property
+    def relative_std(self) -> float:
+        """Coefficient of variation (0 when the mean is 0)."""
+        return self.std / self.mean if self.mean else 0.0
+
+    def overlaps(self, other: "ReplicationResult") -> bool:
+        """True when the two 95% confidence intervals overlap."""
+        return self.ci95_low <= other.ci95_high and other.ci95_low <= self.ci95_high
+
+
+def replicate(
+    params: MachineParams,
+    config: ExperimentConfig,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    metric: MetricFn = seconds_metric,
+) -> ReplicationResult:
+    """Run one machine under several workload seeds."""
+    values = []
+    for seed in seeds:
+        programs = build_workload(config.scale, seed=seed)
+        result = simulate(params, programs, slice_refs=config.slice_refs)
+        values.append(metric(result))
+    return ReplicationResult.from_values(values)
+
+
+def compare(
+    a: MachineParams,
+    b: MachineParams,
+    config: ExperimentConfig,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    metric: MetricFn = seconds_metric,
+) -> dict[str, object]:
+    """Replicate two machines and summarise the comparison.
+
+    Returns the two :class:`ReplicationResult` values, the mean speedup
+    of ``b`` over ``a`` (``a.mean / b.mean - 1``), and whether the
+    confidence intervals separate (``significant``).
+    """
+    result_a = replicate(a, config, seeds, metric)
+    result_b = replicate(b, config, seeds, metric)
+    return {
+        "a": result_a,
+        "b": result_b,
+        "speedup_b_over_a": result_a.mean / result_b.mean - 1.0,
+        "significant": not result_a.overlaps(result_b),
+    }

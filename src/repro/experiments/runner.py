@@ -1,0 +1,142 @@
+"""Cached experiment runner.
+
+Tables 3-5 sweep the same axes and Figures 2-5 are different views of
+those sweeps, so the runner memoises every simulation as a
+:class:`~repro.analysis.runtime.RunRecord`, keyed by the *complete*
+machine description plus workload parameters.  Records persist as one
+JSON file per cell under the configured cache directory; re-rendering a
+figure from table data costs nothing.
+
+Grid labels (the hierarchies the paper compares):
+
+=================  ====================================================
+label              machine
+=================  ====================================================
+``baseline``       direct-mapped L2, no context-switch modelling
+``rampage``        RAMpage, no context switches (Table 3 rows)
+``rampage_som``    RAMpage with context switches on misses (Table 4)
+``twoway``         2-way L2 with scheduled switch traces (Table 5)
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.analysis.runtime import RunGrid, RunRecord
+from repro.core.errors import ConfigurationError
+from repro.core.params import MachineParams
+from repro.experiments.config import ExperimentConfig
+from repro.systems.factory import (
+    baseline_machine,
+    rampage_machine,
+    twoway_machine,
+)
+from repro.systems.simulator import simulate
+from repro.trace.synthetic import build_workload
+
+#: Bumped whenever trace generation or timing semantics change, so stale
+#: cached records are never mixed with fresh ones.
+WORKLOAD_VERSION = "wv4"
+
+GRID_BUILDERS: dict[str, Callable[[int, int], MachineParams]] = {
+    "baseline": lambda rate, size: baseline_machine(rate, size),
+    "rampage": lambda rate, size: rampage_machine(rate, size),
+    "rampage_som": lambda rate, size: rampage_machine(
+        rate, size, switch_on_miss=True
+    ),
+    "twoway": lambda rate, size: twoway_machine(rate, size),
+}
+
+
+@dataclass(frozen=True)
+class ExperimentOutput:
+    """What each experiment module returns."""
+
+    name: str
+    title: str
+    text: str
+    data: dict
+
+    def write_to(self, directory: str | Path) -> Path:
+        """Persist the rendered report; returns the file path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.name}.txt"
+        path.write_text(self.text + "\n", encoding="utf-8")
+        return path
+
+
+class Runner:
+    """Runs and caches the simulations behind every experiment."""
+
+    def __init__(self, config: ExperimentConfig | None = None) -> None:
+        self.config = config if config is not None else ExperimentConfig.from_env()
+        self._memory: dict[str, RunRecord] = {}
+        self._grids: dict[str, RunGrid] = {}
+
+    # ------------------------------------------------------------------
+    # Single cells
+    # ------------------------------------------------------------------
+
+    def _cache_key(self, params: MachineParams) -> str:
+        config = self.config
+        blob = "|".join(
+            (
+                WORKLOAD_VERSION,
+                repr(params),
+                f"scale={config.scale}",
+                f"slice={config.slice_refs}",
+                f"seed={config.seed}",
+            )
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+
+    def _cache_path(self, key: str) -> Path | None:
+        if self.config.cache_dir is None:
+            return None
+        return Path(self.config.cache_dir) / f"{key}.json"
+
+    def record(self, label: str, params: MachineParams) -> RunRecord:
+        """Simulate one machine over the standard workload (cached)."""
+        key = self._cache_key(params)
+        cached = self._memory.get(key)
+        if cached is not None:
+            return cached
+        path = self._cache_path(key)
+        if path is not None and path.exists():
+            record = RunRecord.from_dict(json.loads(path.read_text("utf-8")))
+            self._memory[key] = record
+            return record
+        programs = build_workload(self.config.scale, seed=self.config.seed)
+        result = simulate(params, programs, slice_refs=self.config.slice_refs)
+        record = RunRecord.from_result(label, params.transfer_unit_bytes, result)
+        self._memory[key] = record
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(record.as_dict()), encoding="utf-8")
+        return record
+
+    # ------------------------------------------------------------------
+    # Grids
+    # ------------------------------------------------------------------
+
+    def grid(self, label: str) -> RunGrid:
+        """Return (building on demand) the sweep grid for ``label``."""
+        if label in self._grids:
+            return self._grids[label]
+        builder = GRID_BUILDERS.get(label)
+        if builder is None:
+            raise ConfigurationError(
+                f"unknown grid {label!r}; known: {sorted(GRID_BUILDERS)}"
+            )
+        grid = RunGrid(label)
+        for rate in self.config.issue_rates:
+            for size in self.config.sizes:
+                grid.add(self.record(label, builder(rate, size)))
+        self._grids[label] = grid
+        return grid

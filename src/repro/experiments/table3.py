@@ -1,0 +1,77 @@
+"""Table 3: baseline direct-mapped L2 vs RAMpage run times.
+
+"Elapsed simulated time (s) for 1.1 billion-reference combined traces.
+Each row contains cache-based hierarchy at the top, and RAMpage
+hierarchy below."  The paper's headline numbers from this table: at
+200 MHz the best RAMpage time is 6 % faster than the best baseline; at
+4 GHz it is 26 % faster.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_rate, render_table
+from repro.analysis.runtime import best_cell, speedup
+from repro.experiments.runner import ExperimentOutput, Runner
+
+NAME = "table3"
+TITLE = (
+    "Table 3: elapsed simulated time (s); per issue rate the first line "
+    "is the direct-mapped-L2 baseline, the second is RAMpage"
+)
+
+
+def run(runner: Runner | None = None) -> ExperimentOutput:
+    runner = runner if runner is not None else Runner()
+    baseline = runner.grid("baseline")
+    rampage = runner.grid("rampage")
+    sizes = runner.config.sizes
+    rows = []
+    summary = []
+    for rate in runner.config.issue_rates:
+        base_row = [f"{baseline.cell(rate, size).seconds:.4f}" for size in sizes]
+        ramp_row = [f"{rampage.cell(rate, size).seconds:.4f}" for size in sizes]
+        rows.append([format_rate(rate), "baseline", *base_row])
+        rows.append(["", "RAMpage", *ramp_row])
+        best_base = best_cell(baseline, rate)
+        best_ramp = best_cell(rampage, rate)
+        summary.append(
+            {
+                "issue_rate_hz": rate,
+                "best_baseline_s": best_base.seconds,
+                "best_baseline_size": best_base.size_bytes,
+                "best_rampage_s": best_ramp.seconds,
+                "best_rampage_size": best_ramp.size_bytes,
+                "rampage_speedup": speedup(best_base, best_ramp),
+            }
+        )
+    table = render_table(
+        TITLE,
+        headers=("issue rate", "hierarchy", *[str(s) for s in sizes]),
+        rows=rows,
+    )
+    notes = ["", "Best-time comparison (paper: +6% at 200MHz, +26% at 4GHz):"]
+    for entry in summary:
+        notes.append(
+            f"  {format_rate(entry['issue_rate_hz'])}: RAMpage "
+            f"{entry['rampage_speedup'] * 100:+.1f}% vs baseline "
+            f"(best sizes {entry['best_rampage_size']}B vs "
+            f"{entry['best_baseline_size']}B)"
+        )
+    return ExperimentOutput(
+        name=NAME,
+        title=TITLE,
+        text=table + "\n" + "\n".join(notes),
+        data={
+            "sizes": list(sizes),
+            "issue_rates": list(runner.config.issue_rates),
+            "baseline_seconds": {
+                format_rate(rate): [baseline.cell(rate, s).seconds for s in sizes]
+                for rate in runner.config.issue_rates
+            },
+            "rampage_seconds": {
+                format_rate(rate): [rampage.cell(rate, s).seconds for s in sizes]
+                for rate in runner.config.issue_rates
+            },
+            "summary": summary,
+        },
+    )

@@ -1,0 +1,58 @@
+"""Table 5: 2-way set-associative L2 with scheduled context switches.
+
+"Run times (s) for a 2-way associative L2 cache with context switches.
+A context switch trace is inserted between switches from one benchmark
+to another; context switches are not taken on misses."  The paper's
+point of interest is "the closeness of the RAMpage and 2-way
+associative times" (compared in Figure 5).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_rate, render_table
+from repro.analysis.runtime import best_cell
+from repro.experiments.runner import ExperimentOutput, Runner
+
+NAME = "table5"
+TITLE = "Table 5: 2-way associative L2 with scheduled context switches (s)"
+
+
+def run(runner: Runner | None = None) -> ExperimentOutput:
+    runner = runner if runner is not None else Runner()
+    twoway = runner.grid("twoway")
+    sizes = runner.config.sizes
+    rows = []
+    summary = []
+    for rate in runner.config.issue_rates:
+        rows.append(
+            [
+                format_rate(rate),
+                *[f"{twoway.cell(rate, size).seconds:.4f}" for size in sizes],
+            ]
+        )
+        best = best_cell(twoway, rate)
+        summary.append(
+            {
+                "issue_rate_hz": rate,
+                "best_s": best.seconds,
+                "best_size": best.size_bytes,
+            }
+        )
+    table = render_table(
+        TITLE,
+        headers=("issue rate", *[str(s) for s in sizes]),
+        rows=rows,
+    )
+    return ExperimentOutput(
+        name=NAME,
+        title=TITLE,
+        text=table,
+        data={
+            "sizes": list(sizes),
+            "twoway_seconds": {
+                format_rate(rate): [twoway.cell(rate, s).seconds for s in sizes]
+                for rate in runner.config.issue_rates
+            },
+            "summary": summary,
+        },
+    )

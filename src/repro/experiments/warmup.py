@@ -1,0 +1,105 @@
+"""Warm-up occupancy: section 4.2's fill-time claim.
+
+"For 128-byte SRAM pages, it takes about 50-million references before
+every page in the RAMpage SRAM main memory is occupied; this figure
+drops off with page size to about 25-million references before all
+pages in the 4 Kbyte pagesize simulation have been occupied at least
+once."
+
+This experiment drives the RAMpage machine and records, per page size,
+how many workload references it takes to reach 50% / 90% / 100%
+occupancy of the user frames.  At reduced workload scale the absolute
+counts shrink with the trace, so the *ratio* between the 128-byte and
+4 KB fill times (paper: about 2x) is the reproduced quantity.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.experiments.runner import ExperimentOutput, Runner
+from repro.systems.factory import build_system, rampage_machine
+from repro.trace.interleave import InterleavedWorkload
+from repro.trace.synthetic import build_workload
+
+NAME = "warmup"
+TITLE = (
+    "Warm-up: workload references until the RAMpage SRAM main memory is "
+    "occupied (section 4.2)"
+)
+
+MILESTONES = (0.5, 0.9, 1.0)
+
+
+def occupancy_curve(
+    page_bytes: int,
+    scale: float,
+    slice_refs: int,
+    seed: int,
+    issue_rate_hz: int = 1_000_000_000,
+) -> dict[str, object]:
+    """Refs-to-occupancy milestones for one page size."""
+    system = build_system(rampage_machine(issue_rate_hz, page_bytes))
+    workload = InterleavedWorkload(
+        build_workload(scale, seed=seed), slice_refs=slice_refs
+    )
+    capacity = system.sram.user_frames
+    milestones_left = list(MILESTONES)
+    reached: dict[float, int] = {}
+    consumed = 0
+    while milestones_left:
+        chunk = workload.next_chunk()
+        if chunk is None:
+            break
+        consumed += system.run_chunk(chunk)
+        occupancy = system.sram.resident_pages() / capacity
+        while milestones_left and occupancy >= milestones_left[0]:
+            reached[milestones_left.pop(0)] = consumed
+    return {
+        "page_bytes": page_bytes,
+        "frames": capacity,
+        "milestones": reached,
+        "workload_refs": consumed,
+        "final_occupancy": system.sram.resident_pages() / capacity,
+    }
+
+
+def run(runner: Runner | None = None) -> ExperimentOutput:
+    runner = runner if runner is not None else Runner()
+    config = runner.config
+    curves = [
+        occupancy_curve(page, config.scale, config.slice_refs, config.seed)
+        for page in (128, 1024, 4096)
+    ]
+    rows = []
+    for curve in curves:
+        milestones = curve["milestones"]
+        rows.append(
+            (
+                curve["page_bytes"],
+                curve["frames"],
+                milestones.get(0.5, "-"),
+                milestones.get(0.9, "-"),
+                milestones.get(1.0, "-"),
+                f"{curve['final_occupancy']:.2f}",
+            )
+        )
+    note_lines = []
+    full_128 = curves[0]["milestones"].get(1.0)
+    full_4k = curves[-1]["milestones"].get(1.0)
+    if full_128 and full_4k:
+        note_lines.append(
+            f"fill-time ratio 128B/4096B = {full_128 / full_4k:.2f} "
+            "(paper: ~50M/25M = 2.0 at full scale)"
+        )
+    table = render_table(
+        TITLE,
+        headers=("page", "frames", "refs@50%", "refs@90%", "refs@100%", "final"),
+        rows=rows,
+        note="; ".join(note_lines),
+    )
+    return ExperimentOutput(
+        name=NAME,
+        title=TITLE,
+        text=table,
+        data={"curves": curves},
+    )

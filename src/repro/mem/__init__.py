@@ -1,0 +1,37 @@
+"""Memory-hierarchy components.
+
+State-holding building blocks of both simulated machines.  Components
+manage placement/replacement state only; *timing* and *statistics* are
+charged by the system models in :mod:`repro.systems`, so each component
+stays independently testable.
+
+* :mod:`repro.mem.cache` -- generic set-associative cache (L1 and L2).
+* :mod:`repro.mem.victim` -- small fully associative victim buffer.
+* :mod:`repro.mem.tlb` -- translation lookaside buffer.
+* :mod:`repro.mem.inverted_page_table` -- hash-anchored inverted page
+  table with real probe counts (drives handler cost).
+* :mod:`repro.mem.replacement` -- clock replacement and standby list.
+* :mod:`repro.mem.sram_memory` -- the RAMpage SRAM main memory.
+* :mod:`repro.mem.dram` -- Direct Rambus / SDRAM / disk timing models.
+"""
+
+from repro.mem.cache import SetAssociativeCache
+from repro.mem.dram import RambusChannel, rambus_transfer_ps, sdram_transfer_ps
+from repro.mem.inverted_page_table import InvertedPageTable
+from repro.mem.replacement import ClockReplacer, StandbyList
+from repro.mem.sram_memory import SramMainMemory
+from repro.mem.tlb import TLB
+from repro.mem.victim import VictimBuffer
+
+__all__ = [
+    "SetAssociativeCache",
+    "RambusChannel",
+    "rambus_transfer_ps",
+    "sdram_transfer_ps",
+    "InvertedPageTable",
+    "ClockReplacer",
+    "StandbyList",
+    "SramMainMemory",
+    "TLB",
+    "VictimBuffer",
+]

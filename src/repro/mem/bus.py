@@ -1,0 +1,73 @@
+"""CPU <-> L2/SRAM bus timing derivation.
+
+Section 4.4: "the bus connecting the L2 cache to the CPU is 128 bits
+wide and runs at one third of the CPU clock rate ... Hits on the L2
+cache take 4 cycles including the tag check and transfer to Ll."
+
+The 12-CPU-cycle L1 miss penalty used throughout (``L1Params``) is not
+an arbitrary constant -- it is the bus arithmetic: a 32-byte L1 block
+over a 16-byte bus is 2 data beats, plus 2 beats of command/tag
+overhead, at 3 CPU cycles per bus beat = (2 + 2) x 3 = 12.  This module
+makes that derivation explicit so alternative bus widths or block sizes
+produce consistent penalties, and the test suite pins the default
+parameters to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+from repro.core.params import BusParams, L1Params
+
+#: Bus beats of command/tag overhead per transaction (address + tag
+#: check on the paper's 4-beat L2 hit).
+OVERHEAD_BEATS = 2
+
+#: Overhead beats for a RAMpage writeback: one beat less, since there
+#: is no L2 tag to check/update (the paper's 9-cycle writeback = 3
+#: beats x 3).
+RAMPAGE_WRITEBACK_OVERHEAD_BEATS = 1
+
+
+def transfer_cycles(
+    bus: BusParams, nbytes: int, overhead_beats: int = OVERHEAD_BEATS
+) -> int:
+    """CPU cycles to move ``nbytes`` across the bus, with overhead."""
+    if nbytes <= 0:
+        raise ConfigurationError(f"nbytes must be positive, got {nbytes}")
+    if overhead_beats < 0:
+        raise ConfigurationError("overhead_beats must be >= 0")
+    data_beats = -(-nbytes // bus.width_bytes)
+    return (data_beats + overhead_beats) * bus.cpu_clock_divisor
+
+
+def derived_miss_penalty_cycles(bus: BusParams, l1: L1Params) -> int:
+    """The L1 miss penalty the bus geometry implies."""
+    return transfer_cycles(bus, l1.block_bytes, OVERHEAD_BEATS)
+
+
+def derived_rampage_writeback_cycles(bus: BusParams, l1: L1Params) -> int:
+    """The RAMpage L1 writeback cost the bus geometry implies."""
+    return transfer_cycles(bus, l1.block_bytes, RAMPAGE_WRITEBACK_OVERHEAD_BEATS)
+
+
+def check_consistency(bus: BusParams, l1: L1Params) -> None:
+    """Raise when the explicit L1 penalties contradict the bus model.
+
+    Systems call this at construction so a user who widens the bus or
+    the L1 block without adjusting the cycle constants gets a clear
+    error instead of silently inconsistent timing.
+    """
+    expected = derived_miss_penalty_cycles(bus, l1)
+    if l1.miss_penalty_cycles != expected:
+        raise ConfigurationError(
+            f"L1 miss penalty {l1.miss_penalty_cycles} cycles contradicts "
+            f"the bus model ({expected} cycles for {l1.block_bytes}-byte "
+            f"blocks over a {bus.width_bits}-bit bus at CPU/"
+            f"{bus.cpu_clock_divisor}); adjust L1Params or BusParams"
+        )
+    expected_wb = derived_rampage_writeback_cycles(bus, l1)
+    if l1.rampage_writeback_cycles != expected_wb:
+        raise ConfigurationError(
+            f"RAMpage writeback {l1.rampage_writeback_cycles} cycles "
+            f"contradicts the bus model ({expected_wb} cycles)"
+        )

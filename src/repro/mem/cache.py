@@ -1,0 +1,126 @@
+"""Generic set-associative cache state.
+
+Used for the split L1 caches (direct-mapped in the paper's base
+configuration, 8-way in the section 6.3 ablation) and the L2 cache
+(direct-mapped baseline, 2-way "realistic" variant).  Replacement within
+a set is random, as the paper specifies for its associative L2; random
+replacement needs no per-access metadata, which also keeps the hit path
+cheap.
+
+The cache tracks *block numbers* (physical address >> block_bits), not
+raw addresses; callers shift once and reuse the block number for
+inclusion probes.  Timing is not modelled here -- systems charge cycles.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import SimulationError
+from repro.core.params import CacheParams
+from repro.core.rng import XorShiftRNG
+
+INVALID = -1
+
+
+class SetAssociativeCache:
+    """Placement/replacement state of one cache.
+
+    Attributes
+    ----------
+    block_bits:
+        log2(block size); callers compute ``block_num = paddr >> block_bits``.
+    """
+
+    __slots__ = (
+        "params",
+        "block_bits",
+        "ways",
+        "num_sets",
+        "set_mask",
+        "tags",
+        "dirty",
+        "_rng",
+        "fills",
+        "evictions",
+    )
+
+    def __init__(self, params: CacheParams, rng: XorShiftRNG | None = None) -> None:
+        self.params = params
+        self.block_bits = params.block_bytes.bit_length() - 1
+        self.ways = params.ways
+        self.num_sets = params.num_sets
+        self.set_mask = self.num_sets - 1
+        self.tags = [INVALID] * params.num_blocks
+        self.dirty = bytearray(params.num_blocks)
+        self._rng = rng if rng is not None else XorShiftRNG()
+        self.fills = 0
+        self.evictions = 0
+
+    def slot_of(self, block_num: int) -> int:
+        """Return the slot index holding ``block_num``, or -1."""
+        base = (block_num & self.set_mask) * self.ways
+        tags = self.tags
+        for way in range(self.ways):
+            if tags[base + way] == block_num:
+                return base + way
+        return -1
+
+    def lookup(self, block_num: int) -> bool:
+        """True when ``block_num`` is resident."""
+        return self.slot_of(block_num) != -1
+
+    def mark_dirty(self, block_num: int) -> None:
+        """Set the dirty bit of a resident block."""
+        slot = self.slot_of(block_num)
+        if slot == -1:
+            raise SimulationError(
+                f"mark_dirty on non-resident block {block_num:#x}"
+            )
+        self.dirty[slot] = 1
+
+    def fill(self, block_num: int, dirty: bool = False) -> tuple[int, bool]:
+        """Install ``block_num``; return ``(victim_block, victim_dirty)``.
+
+        The victim is ``INVALID`` when an empty way was used.  Installing
+        an already-resident block is an error (systems only fill on
+        miss).
+        """
+        base = (block_num & self.set_mask) * self.ways
+        tags = self.tags
+        empty = -1
+        for way in range(self.ways):
+            slot = base + way
+            if tags[slot] == block_num:
+                raise SimulationError(f"fill of resident block {block_num:#x}")
+            if tags[slot] == INVALID and empty == -1:
+                empty = slot
+        if empty != -1:
+            slot = empty
+            victim, victim_dirty = INVALID, False
+        else:
+            slot = base + (self._rng.below(self.ways) if self.ways > 1 else 0)
+            victim = tags[slot]
+            victim_dirty = bool(self.dirty[slot])
+            self.evictions += 1
+        tags[slot] = block_num
+        self.dirty[slot] = 1 if dirty else 0
+        self.fills += 1
+        return victim, victim_dirty
+
+    def invalidate(self, block_num: int) -> tuple[bool, bool]:
+        """Drop ``block_num`` if present; return ``(present, was_dirty)``."""
+        slot = self.slot_of(block_num)
+        if slot == -1:
+            return False, False
+        was_dirty = bool(self.dirty[slot])
+        self.tags[slot] = INVALID
+        self.dirty[slot] = 0
+        return True, was_dirty
+
+    def resident_blocks(self) -> list[int]:
+        """All resident block numbers (for tests and invariant checks)."""
+        return [tag for tag in self.tags if tag != INVALID]
+
+    def occupancy(self) -> float:
+        """Fraction of slots holding valid blocks."""
+        valid = sum(1 for tag in self.tags if tag != INVALID)
+        return valid / len(self.tags)

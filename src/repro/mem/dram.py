@@ -1,0 +1,145 @@
+"""DRAM and storage timing models.
+
+Three timing models from section 3.3 of the paper:
+
+* **Direct Rambus** (the simulated systems' DRAM): 50 ns before the
+  first reference is started, thereafter 2 bytes every 1.25 ns, one
+  channel, no pipelining -- "similar characteristics to an SDRAM
+  implementation".  The section 6.3 pipelined extension lets queued
+  transfers overlap the access latency, reaching the "theoretical 95%
+  of peak bandwidth" the paper quotes for Direct Rambus.
+* **SDRAM** (for context/efficiency comparisons): an initial delay then
+  one bus-width beat per bus clock, e.g. 50 ns + 16 bytes / 10 ns.
+* **Disk** (Table 1 only): pure latency + bandwidth.
+
+:class:`RambusChannel` adds *occupancy*: a single channel can serve one
+transfer at a time, and the context-switch-on-miss policy overlaps CPU
+work with background page moves, so the channel tracks when it frees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+from repro.core.params import DiskParams, RambusParams
+
+
+def rambus_transfer_ps(params: RambusParams, nbytes: int) -> int:
+    """Picoseconds to move ``nbytes`` over an idle Direct Rambus channel."""
+    if nbytes < 0:
+        raise ConfigurationError(f"nbytes must be >= 0, got {nbytes}")
+    if nbytes == 0:
+        return 0
+    beats = -(-nbytes // params.bytes_per_beat)  # ceil
+    return params.access_ps + beats * params.ps_per_beat
+
+
+def rambus_pipelined_ps(params: RambusParams, nbytes: int) -> int:
+    """Transfer time when the channel is already streaming.
+
+    Pipelined Direct Rambus hides the access latency of queued
+    references behind current data beats, achieving
+    ``pipeline_efficiency`` of peak bandwidth "on units as small as
+    2 bytes" (paper section 3.3).  The stretched beat time never
+    exceeds the plain access + beats cost: pipelining cannot make a
+    transfer slower.
+    """
+    if nbytes < 0:
+        raise ConfigurationError(f"nbytes must be >= 0, got {nbytes}")
+    if nbytes == 0:
+        return 0
+    beats = -(-nbytes // params.bytes_per_beat)
+    streamed = round(beats * params.ps_per_beat / params.pipeline_efficiency)
+    return min(streamed, rambus_transfer_ps(params, nbytes))
+
+
+@dataclass(frozen=True)
+class SdramTiming:
+    """SDRAM model: initial delay, then one bus-width beat per bus clock."""
+
+    initial_ps: int = 50_000  # 50 ns
+    beat_ps: int = 10_000  # 10 ns bus clock
+    bus_bytes: int = 16  # 128-bit bus
+
+    def __post_init__(self) -> None:
+        if self.initial_ps < 0 or self.beat_ps <= 0 or self.bus_bytes <= 0:
+            raise ConfigurationError("SDRAM timing values must be positive")
+
+
+def sdram_transfer_ps(timing: SdramTiming, nbytes: int) -> int:
+    """Picoseconds for an SDRAM burst of ``nbytes``."""
+    if nbytes < 0:
+        raise ConfigurationError(f"nbytes must be >= 0, got {nbytes}")
+    if nbytes == 0:
+        return 0
+    beats = -(-nbytes // timing.bus_bytes)
+    return timing.initial_ps + beats * timing.beat_ps
+
+
+def disk_transfer_s(params: DiskParams, nbytes: int) -> float:
+    """Seconds for a disk transfer of ``nbytes`` (Table 1 comparison)."""
+    if nbytes < 0:
+        raise ConfigurationError(f"nbytes must be >= 0, got {nbytes}")
+    if nbytes == 0:
+        return 0.0
+    return params.latency_s + nbytes / params.bandwidth_bytes_per_s
+
+
+class RambusChannel:
+    """A single Direct Rambus channel with occupancy tracking.
+
+    Synchronous users (a blocking cache miss) call :meth:`synchronous`;
+    the context-switch-on-miss path calls :meth:`begin_background` and
+    lets the CPU run on, stalling later only if it needs the data (or
+    the channel) before ``ready_at``.
+    """
+
+    __slots__ = ("params", "free_at_ps", "transfers", "bytes_moved", "busy_ps")
+
+    def __init__(self, params: RambusParams) -> None:
+        self.params = params
+        self.free_at_ps = 0
+        self.transfers = 0
+        self.bytes_moved = 0
+        self.busy_ps = 0
+
+    def _cost_ps(self, nbytes: int, queued: bool) -> int:
+        if self.params.pipelined and queued:
+            return rambus_pipelined_ps(self.params, nbytes)
+        return rambus_transfer_ps(self.params, nbytes)
+
+    def synchronous(self, now_ps: int, nbytes: int) -> tuple[int, int]:
+        """Blocking transfer; returns ``(wait_ps, transfer_ps)``.
+
+        ``wait_ps`` is time spent queued behind an earlier background
+        transfer; ``transfer_ps`` is the move itself.  The channel is
+        busy until the transfer completes.
+        """
+        wait = max(0, self.free_at_ps - now_ps)
+        queued = wait > 0
+        cost = self._cost_ps(nbytes, queued)
+        start = now_ps + wait
+        self.free_at_ps = start + cost
+        self._account(nbytes, cost)
+        return wait, cost
+
+    def begin_background(self, now_ps: int, nbytes: int) -> int:
+        """Queue a transfer without blocking; returns its completion time."""
+        start = max(now_ps, self.free_at_ps)
+        queued = start > now_ps
+        cost = self._cost_ps(nbytes, queued)
+        self.free_at_ps = start + cost
+        self._account(nbytes, cost)
+        return self.free_at_ps
+
+    def _account(self, nbytes: int, cost: int) -> None:
+        self.transfers += 1
+        self.bytes_moved += nbytes
+        self.busy_ps += cost
+
+    def utilisation(self, elapsed_ps: int) -> float:
+        """Fraction of elapsed time the channel spent transferring."""
+        if elapsed_ps <= 0:
+            return 0.0
+        return min(1.0, self.busy_ps / elapsed_ps)

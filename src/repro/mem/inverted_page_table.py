@@ -1,0 +1,153 @@
+"""Hash-anchored inverted page table.
+
+RAMpage translates with an inverted page table -- one entry per physical
+frame, found through a hash anchor table (paper section 2.2, citing
+Huck & Hays).  The structure is implemented for real, not approximated,
+because the *probe count* of each lookup feeds the TLB-miss handler cost
+model: a longer chain means more handler references.
+
+Layout: ``anchor[h(vpn)]`` heads a singly linked chain of frame indices;
+``frame_vpn[f]`` holds the vpn mapped to frame ``f`` (-1 when free) and
+``chain[f]`` links frames whose vpns share a bucket.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError, SimulationError
+
+_HASH_MULT = 2654435761  # Knuth multiplicative hash
+FREE = -1
+
+
+def _next_pow2(value: int) -> int:
+    result = 1
+    while result < value:
+        result <<= 1
+    return result
+
+
+class InvertedPageTable:
+    """Inverted page table over a fixed set of physical frames."""
+
+    __slots__ = ("num_frames", "_bucket_mask", "anchor", "chain", "frame_vpn",
+                 "lookups", "total_probes", "entries")
+
+    def __init__(self, num_frames: int) -> None:
+        if num_frames <= 0:
+            raise ConfigurationError(f"num_frames must be positive, got {num_frames}")
+        self.num_frames = num_frames
+        buckets = _next_pow2(num_frames)
+        self._bucket_mask = buckets - 1
+        self.anchor = [FREE] * buckets
+        self.chain = [FREE] * num_frames
+        self.frame_vpn = [FREE] * num_frames
+        self.lookups = 0
+        self.total_probes = 0
+        self.entries = 0
+
+    def _bucket(self, vpn: int) -> int:
+        # Multiplicative hash taking well-mixed mid bits: the >>16 shift
+        # matters -- dense sequential vpn runs (every program region
+        # produces them) cluster badly if low product bits are kept.
+        return ((vpn * _HASH_MULT) >> 16) & self._bucket_mask
+
+    def lookup(self, vpn: int) -> tuple[int, int]:
+        """Return ``(frame, probes)``; frame is -1 when not mapped.
+
+        ``probes`` counts chain entries examined (minimum 1), the
+        quantity the TLB-miss handler cost scales with.
+        """
+        frame = self.anchor[self._bucket(vpn)]
+        probes = 0
+        chain = self.chain
+        frame_vpn = self.frame_vpn
+        while frame != FREE:
+            probes += 1
+            if frame_vpn[frame] == vpn:
+                self.lookups += 1
+                self.total_probes += probes
+                return frame, probes
+            frame = chain[frame]
+        probes = max(1, probes)
+        self.lookups += 1
+        self.total_probes += probes
+        return FREE, probes
+
+    def insert(self, vpn: int, frame: int) -> int:
+        """Map ``vpn`` to ``frame``; returns probes spent. Frame must be free."""
+        if not 0 <= frame < self.num_frames:
+            raise SimulationError(f"frame {frame} out of range")
+        if self.frame_vpn[frame] != FREE:
+            raise SimulationError(
+                f"frame {frame} already maps vpn {self.frame_vpn[frame]:#x}"
+            )
+        bucket = self._bucket(vpn)
+        # Insert at chain head: O(1), one probe.
+        self.chain[frame] = self.anchor[bucket]
+        self.anchor[bucket] = frame
+        self.frame_vpn[frame] = vpn
+        self.entries += 1
+        return 1
+
+    def remove_frame(self, frame: int) -> tuple[int, int]:
+        """Unmap ``frame``; return ``(vpn, probes)``."""
+        vpn = self.frame_vpn[frame]
+        if vpn == FREE:
+            raise SimulationError(f"remove_frame on free frame {frame}")
+        bucket = self._bucket(vpn)
+        probes = 1
+        current = self.anchor[bucket]
+        if current == frame:
+            self.anchor[bucket] = self.chain[frame]
+        else:
+            while self.chain[current] != frame:
+                current = self.chain[current]
+                probes += 1
+                if current == FREE:
+                    raise SimulationError(
+                        f"frame {frame} missing from its hash chain"
+                    )
+            self.chain[current] = self.chain[frame]
+        self.chain[frame] = FREE
+        self.frame_vpn[frame] = FREE
+        self.entries -= 1
+        return vpn, probes
+
+    def vpn_of(self, frame: int) -> int:
+        """The vpn mapped at ``frame`` (-1 when free)."""
+        return self.frame_vpn[frame]
+
+    @property
+    def mean_probes(self) -> float:
+        """Average probes per lookup so far (1.0 when chains never form)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.total_probes / self.lookups
+
+    def check_invariants(self) -> None:
+        """Validate chain structure; raises on corruption."""
+        seen: set[int] = set()
+        for bucket, head in enumerate(self.anchor):
+            frame = head
+            steps = 0
+            while frame != FREE:
+                if frame in seen:
+                    raise SimulationError(f"frame {frame} on two chains")
+                seen.add(frame)
+                vpn = self.frame_vpn[frame]
+                if vpn == FREE:
+                    raise SimulationError(f"free frame {frame} on chain {bucket}")
+                if self._bucket(vpn) != bucket:
+                    raise SimulationError(
+                        f"frame {frame} (vpn {vpn:#x}) chained in wrong bucket"
+                    )
+                frame = self.chain[frame]
+                steps += 1
+                if steps > self.num_frames:
+                    raise SimulationError(f"cycle in bucket {bucket}")
+        mapped = sum(1 for vpn in self.frame_vpn if vpn != FREE)
+        if mapped != len(seen) or mapped != self.entries:
+            raise SimulationError(
+                f"entry count mismatch: {mapped} mapped, {len(seen)} chained, "
+                f"{self.entries} counted"
+            )

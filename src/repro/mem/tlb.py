@@ -1,0 +1,127 @@
+"""Translation lookaside buffer.
+
+The paper's TLB is 64-entry, fully associative, with random replacement
+(section 4.3); the section 6.3 ablation uses a 1K-entry 2-way TLB.  Both
+shapes are supported: ``associativity == 0`` in
+:class:`~repro.core.params.TlbParams` means fully associative.
+
+In the conventional machine the TLB caches virtual -> DRAM-frame
+translations; in RAMpage it caches virtual -> SRAM-frame translations
+and an entry must be flushed when its SRAM page is replaced
+(section 2.3) -- hence :meth:`flush_vpn`.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import SimulationError
+from repro.core.params import TlbParams
+from repro.core.rng import XorShiftRNG
+
+
+class TLB:
+    """Set-associative translation cache with random replacement.
+
+    Each set is a dict (vpn -> frame) plus a parallel key list so a
+    random victim can be chosen in O(1).
+    """
+
+    __slots__ = ("params", "ways", "num_sets", "_set_mask", "_maps", "_keys", "_rng",
+                 "hits", "misses", "flushes")
+
+    def __init__(self, params: TlbParams, rng: XorShiftRNG | None = None) -> None:
+        self.params = params
+        self.ways = params.ways
+        self.num_sets = params.num_sets
+        self._set_mask = self.num_sets - 1
+        self._maps: list[dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        self._keys: list[list[int]] = [[] for _ in range(self.num_sets)]
+        self._rng = rng if rng is not None else XorShiftRNG()
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+
+    def _set_of(self, vpn: int) -> int:
+        # Hashed set index (64-bit Fibonacci mix, high bits), the
+        # ASID-hashed indexing style real set-associative TLBs use:
+        # multiprogrammed processes share virtual region bases (every
+        # stack lives at the same vaddr), so indexing by low vpn bits
+        # alone would pile all 18 processes' hot pages onto the same
+        # sets.  Taking high product bits makes the process-id bits
+        # (the vpn's high bits) participate in the index.
+        return (((vpn * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF) >> 48) & self._set_mask
+
+    def lookup(self, vpn: int) -> int | None:
+        """Return the frame for ``vpn`` or None; counts hit/miss."""
+        frame = self._maps[self._set_of(vpn)].get(vpn)
+        if frame is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return frame
+
+    def peek(self, vpn: int) -> int | None:
+        """Lookup without touching the statistics (for invariants)."""
+        return self._maps[self._set_of(vpn)].get(vpn)
+
+    def insert(self, vpn: int, frame: int) -> int | None:
+        """Install a translation; return the evicted vpn, if any."""
+        set_idx = self._set_of(vpn)
+        mapping = self._maps[set_idx]
+        keys = self._keys[set_idx]
+        if vpn in mapping:
+            mapping[vpn] = frame
+            return None
+        evicted = None
+        if len(keys) >= self.ways:
+            victim_idx = self._rng.below(len(keys)) if len(keys) > 1 else 0
+            evicted = keys[victim_idx]
+            keys[victim_idx] = keys[-1]
+            keys.pop()
+            del mapping[evicted]
+        mapping[vpn] = frame
+        keys.append(vpn)
+        return evicted
+
+    def flush_vpn(self, vpn: int) -> bool:
+        """Drop ``vpn``'s entry (page replaced under it); True if present."""
+        set_idx = self._set_of(vpn)
+        mapping = self._maps[set_idx]
+        if vpn not in mapping:
+            return False
+        del mapping[vpn]
+        keys = self._keys[set_idx]
+        idx = keys.index(vpn)
+        keys[idx] = keys[-1]
+        keys.pop()
+        self.flushes += 1
+        return True
+
+    def flush_all(self) -> int:
+        """Empty the TLB; returns the number of entries dropped."""
+        dropped = sum(len(keys) for keys in self._keys)
+        for mapping in self._maps:
+            mapping.clear()
+        for keys in self._keys:
+            keys.clear()
+        self.flushes += dropped
+        return dropped
+
+    def __len__(self) -> int:
+        return sum(len(keys) for keys in self._keys)
+
+    def check_invariants(self) -> None:
+        """Raise :class:`SimulationError` if internal state is corrupt."""
+        for set_idx, (mapping, keys) in enumerate(zip(self._maps, self._keys)):
+            if len(mapping) != len(keys):
+                raise SimulationError(
+                    f"TLB set {set_idx}: dict/key-list length mismatch"
+                )
+            if len(keys) > self.ways:
+                raise SimulationError(f"TLB set {set_idx} over capacity")
+            if set(keys) != set(mapping):
+                raise SimulationError(f"TLB set {set_idx}: key list out of sync")
+            for vpn in keys:
+                if self._set_of(vpn) != set_idx:
+                    raise SimulationError(
+                        f"vpn {vpn:#x} stored in wrong TLB set {set_idx}"
+                    )

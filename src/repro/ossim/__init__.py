@@ -1,0 +1,28 @@
+"""Operating-system model.
+
+RAMpage trades hardware for software: TLB misses, page faults and
+context switches run as OS code through the simulated hierarchy.  The
+paper models this by interleaving traces of handler software
+(sections 4.3 and 4.6); this package synthesises those handler
+reference sequences and lays out the OS's pinned footprint.
+
+* :mod:`repro.ossim.footprint` -- where OS code, data and the inverted
+  page table live (pinned SRAM frames for RAMpage, a reserved DRAM
+  region for the conventional machine).
+* :mod:`repro.ossim.handlers` -- reference sequences for the TLB-miss,
+  page-fault and context-switch handlers.
+* :mod:`repro.ossim.scheduler` -- switching policy (scheduled slices,
+  context switch on miss).
+"""
+
+from repro.ossim.footprint import OsLayout, conventional_layout, rampage_layout
+from repro.ossim.handlers import HandlerLibrary
+from repro.ossim.scheduler import SwitchPolicy
+
+__all__ = [
+    "OsLayout",
+    "conventional_layout",
+    "rampage_layout",
+    "HandlerLibrary",
+    "SwitchPolicy",
+]

@@ -1,0 +1,108 @@
+"""OS memory layout.
+
+Section 4.5: "the operating system uses 6 pages of the SRAM main memory
+when simulating a 4 Kbyte SRAM page ... up to 5336 pages for a 128 byte
+block size, a total of 667 Kbytes", because the inverted page table has
+one entry per SRAM frame and is pinned along with the handler code.
+:func:`rampage_layout` reproduces that footprint from
+:class:`~repro.core.params.RampageParams` (whose ``pinned_bytes``
+implements the formula); :func:`conventional_layout` places the
+equivalent OS code and page table in a reserved region of DRAM physical
+memory, where -- as the paper notes -- it competes for L2/L1 space with
+user data instead of being pinned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+from repro.core.params import RampageParams
+
+#: Physical base of the conventional machine's OS region.  DRAM frames
+#: for user pages are allocated upward from zero and the simulator
+#: guards against ever reaching this base.
+CONVENTIONAL_OS_BASE = 0xF000_0000
+
+
+@dataclass(frozen=True)
+class OsLayout:
+    """Physical placement of OS code, data and the page table."""
+
+    code_base: int
+    code_bytes: int
+    data_base: int
+    data_bytes: int
+    table_base: int
+    table_entries: int
+    entry_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.code_bytes <= 0 or self.data_bytes <= 0:
+            raise ConfigurationError("OS code/data sizes must be positive")
+        if self.table_entries <= 0 or self.entry_bytes <= 0:
+            raise ConfigurationError("page table dimensions must be positive")
+        regions = [
+            (self.code_base, self.code_bytes),
+            (self.data_base, self.data_bytes),
+            (self.table_base, self.table_entries * self.entry_bytes),
+        ]
+        regions.sort()
+        for (base_a, len_a), (base_b, _) in zip(regions, regions[1:]):
+            if base_a + len_a > base_b:
+                raise ConfigurationError("OS regions overlap")
+
+    @property
+    def table_bytes(self) -> int:
+        return self.table_entries * self.entry_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.code_bytes + self.data_bytes + self.table_bytes
+
+    def entry_addr(self, index: int) -> int:
+        """Physical address of page-table entry ``index`` (wrapping)."""
+        return self.table_base + (index % self.table_entries) * self.entry_bytes
+
+
+def rampage_layout(params: RampageParams) -> OsLayout:
+    """Lay the OS out in the pinned SRAM frames.
+
+    Frame 0 upward: handler code, then handler data (PCBs, clock state),
+    then the inverted page table -- matching ``params.pinned_bytes``.
+    """
+    code_bytes = params.pinned_code_data_bytes * 2 // 3
+    data_bytes = params.pinned_code_data_bytes - code_bytes
+    return OsLayout(
+        code_base=0,
+        code_bytes=code_bytes,
+        data_base=code_bytes,
+        data_bytes=data_bytes,
+        table_base=params.pinned_code_data_bytes,
+        table_entries=params.num_frames,
+        entry_bytes=params.ipt_entry_bytes,
+    )
+
+
+def conventional_layout(
+    table_entries: int = 65_536,
+    entry_bytes: int = 16,
+    code_bytes: int = 8 * 1024,
+    data_bytes: int = 4 * 1024,
+) -> OsLayout:
+    """Lay the OS out in the reserved DRAM region.
+
+    The conventional machine's page table maps DRAM (4 KB pages), so the
+    entry count is fixed rather than scaling with the swept block size
+    -- which is why Figure 4's baseline overhead "is the same across all
+    block sizes".
+    """
+    return OsLayout(
+        code_base=CONVENTIONAL_OS_BASE,
+        code_bytes=code_bytes,
+        data_base=CONVENTIONAL_OS_BASE + code_bytes,
+        data_bytes=data_bytes,
+        table_base=CONVENTIONAL_OS_BASE + code_bytes + data_bytes,
+        table_entries=table_entries,
+        entry_bytes=entry_bytes,
+    )

@@ -1,0 +1,141 @@
+"""Handler reference-sequence synthesis.
+
+The paper models OS activity by interleaving traces of handler code:
+"misses modeled by interleaving a trace of page lookup software"
+(section 4.3) and "a trace of simulated context switch code
+(approximately 400 references per context switch)" based on "a standard
+textbook algorithm" (section 4.6).
+
+:class:`HandlerLibrary` turns :class:`~repro.core.params.HandlerCosts`
+plus an :class:`~repro.ossim.footprint.OsLayout` into concrete
+``(kind, physical address)`` sequences.  The sequences are executed
+through the simulated hierarchy by the system models, so handler code
+populates (and pollutes) the caches exactly as the paper's interleaved
+traces do.
+
+Instruction fetches walk the handler's code region sequentially (real
+handlers are straight-line); data references touch the page-table
+entries involved.  Entry addresses for hash-chain probes are derived
+deterministically from the vpn so repeated misses to the same page
+touch the same table memory.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+from repro.core.params import HandlerCosts
+from repro.ossim.footprint import OsLayout
+from repro.trace.record import IFETCH, READ, WRITE
+
+_WORD = 4
+_HASH_MULT = 2654435761
+
+#: The clock hand's referenced bits live in a bitmap, one word covering
+#: 32 frames, so a scan of N frames costs ceil(N/32) word loads plus a
+#: few instructions per word examined.
+SCAN_FRAMES_PER_WORD = 32
+SCAN_INSTR_PER_WORD = 4
+SCAN_DATA_PER_WORD = 1
+
+
+class HandlerLibrary:
+    """Builds handler reference sequences for one machine."""
+
+    def __init__(self, costs: HandlerCosts, layout: OsLayout) -> None:
+        self.costs = costs
+        self.layout = layout
+        # Handler code occupies disjoint slices of the code region so the
+        # three handlers do not artificially share I-cache blocks.
+        third = max(_WORD, (layout.code_bytes // 3) & ~(_WORD - 1))
+        self._tlb_code = layout.code_base
+        self._fault_code = layout.code_base + third
+        self._switch_code = layout.code_base + 2 * third
+        self._code_limit = layout.code_base + layout.code_bytes
+        self._switch_cache: dict[int, list[tuple[int, int]]] = {}
+
+    def _code_refs(self, base: int, count: int) -> list[tuple[int, int]]:
+        limit = self._code_limit
+        span = max(_WORD, limit - base)
+        return [
+            (IFETCH, base + (i * _WORD) % span) for i in range(count)
+        ]
+
+    def _entry_addr(self, vpn: int, probe: int) -> int:
+        index = ((vpn * _HASH_MULT) >> 7) + probe
+        return self.layout.entry_addr(index)
+
+    def tlb_miss_refs(self, vpn: int, probes: int) -> list[tuple[int, int]]:
+        """The inverted-page-table lookup for one TLB miss.
+
+        ``probes`` comes from the real hash-chain walk; each probe past
+        the first adds chain-following instructions and entry loads.
+        """
+        if probes < 1:
+            raise ConfigurationError(f"probes must be >= 1, got {probes}")
+        costs = self.costs
+        refs = self._code_refs(self._tlb_code, costs.tlb_instr)
+        for d in range(costs.tlb_data):
+            refs.append((READ, self._entry_addr(vpn, d)))
+        for probe in range(1, probes):
+            refs.extend(
+                self._code_refs(self._tlb_code, costs.tlb_probe_instr)
+            )
+            for d in range(costs.tlb_probe_data):
+                refs.append((READ, self._entry_addr(vpn, probe * 4 + d)))
+        return refs
+
+    def page_fault_refs(self, vpn: int, scanned: int) -> list[tuple[int, int]]:
+        """The page-fault path: fault dispatch, clock scan, table update.
+
+        ``scanned`` is the number of frames the clock hand examined; the
+        referenced bits are a bitmap, so the scan costs one word load
+        (plus a few instructions) per 32 frames examined.
+        """
+        if scanned < 0:
+            raise ConfigurationError(f"scanned must be >= 0, got {scanned}")
+        costs = self.costs
+        refs = self._code_refs(self._fault_code, costs.fault_instr)
+        for d in range(costs.fault_data):
+            kind = WRITE if d % 3 == 2 else READ
+            refs.append((kind, self._entry_addr(vpn, d)))
+        if scanned:
+            words = -(-scanned // SCAN_FRAMES_PER_WORD)
+            refs.extend(
+                self._code_refs(self._fault_code, SCAN_INSTR_PER_WORD * words)
+            )
+            for word in range(words):
+                refs.append((WRITE, self._entry_addr(vpn + 1, word)))
+        return refs
+
+    def context_switch_refs(self, pid: int) -> list[tuple[int, int]]:
+        """The ~400-reference context switch (section 4.6).
+
+        Data references save/restore the process control block, whose
+        address depends on the pid; sequences are cached per pid.
+        """
+        cached = self._switch_cache.get(pid)
+        if cached is not None:
+            return cached
+        costs = self.costs
+        refs = self._code_refs(self._switch_code, costs.switch_instr)
+        pcb_bytes = 256
+        slots = max(1, self.layout.data_bytes // pcb_bytes)
+        pcb_base = self.layout.data_base + (pid % slots) * pcb_bytes
+        for d in range(costs.switch_data):
+            kind = WRITE if d % 2 == 0 else READ
+            refs.append((kind, pcb_base + (d * _WORD) % pcb_bytes))
+        self._switch_cache[pid] = refs
+        return refs
+
+    def tlb_miss_ref_count(self, probes: int) -> int:
+        """Reference count of :meth:`tlb_miss_refs` without building it."""
+        costs = self.costs
+        extra = (probes - 1) * (costs.tlb_probe_instr + costs.tlb_probe_data)
+        return costs.tlb_instr + costs.tlb_data + extra
+
+    def page_fault_ref_count(self, scanned: int) -> int:
+        """Reference count of :meth:`page_fault_refs` without building it."""
+        costs = self.costs
+        words = -(-scanned // SCAN_FRAMES_PER_WORD) if scanned else 0
+        scan = words * (SCAN_INSTR_PER_WORD + SCAN_DATA_PER_WORD)
+        return costs.fault_instr + costs.fault_data + scan

@@ -1,0 +1,58 @@
+"""Context-switching policy.
+
+Two switching mechanisms appear in the paper:
+
+* **scheduled switches** -- the multiprogramming workload rotates every
+  time slice; sections 4.6-4.7 add a ~400-reference context-switch trace
+  at each rotation ("a context switch trace is inserted between switches
+  from one benchmark to another"),
+* **switch on miss** -- the RAMpage-only policy (section 5.4): on a page
+  fault to DRAM, instead of stalling, the OS switches to another process
+  and overlaps the transfer with its work.
+
+:class:`SwitchPolicy` is the declarative description; the simulator and
+the RAMpage system consult it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SwitchPolicy:
+    """When context switches happen and what they cost.
+
+    ``scheduled`` inserts the switch trace at slice boundaries;
+    ``on_miss`` additionally preempts the faulting process on a page
+    fault from the SRAM main memory (RAMpage only -- the conventional
+    machine has no software miss path to hook).
+    """
+
+    scheduled: bool = False
+    on_miss: bool = False
+
+    @classmethod
+    def none(cls) -> "SwitchPolicy":
+        """No context-switch modelling (the Table 3 baseline runs)."""
+        return cls(scheduled=False, on_miss=False)
+
+    @classmethod
+    def scheduled_only(cls) -> "SwitchPolicy":
+        """Switch trace at slice boundaries (Tables 4-5 comparisons)."""
+        return cls(scheduled=True, on_miss=False)
+
+    @classmethod
+    def switch_on_miss(cls) -> "SwitchPolicy":
+        """Scheduled switches plus RAMpage's switch-on-miss (Table 4)."""
+        return cls(scheduled=True, on_miss=True)
+
+    def validate_for(self, kind: str) -> None:
+        """Reject combinations the paper's hardware cannot express."""
+        if self.on_miss and kind != "rampage":
+            raise ConfigurationError(
+                "switch-on-miss requires the RAMpage machine; a "
+                "conventional cache miss is invisible to software"
+            )

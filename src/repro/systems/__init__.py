@@ -1,0 +1,40 @@
+"""The two simulated machines and the simulation driver.
+
+* :mod:`repro.systems.base` -- shared machinery: L1 handling, handler
+  execution, DRAM accounting, the scalar reference path.
+* :mod:`repro.systems.conventional` -- TLB -> L1 -> L2 -> DRAM (the
+  paper's baseline direct-mapped and "realistic" 2-way machines).
+* :mod:`repro.systems.rampage` -- TLB -> L1 -> SRAM main memory -> DRAM
+  paging device (the paper's contribution), with optional context
+  switches on misses.
+* :mod:`repro.systems.simulator` -- drives a machine over an
+  interleaved workload, handling scheduled switches and preemption.
+* :mod:`repro.systems.factory` -- presets for the paper's section 4
+  configurations.
+"""
+
+from repro.systems.base import MemorySystem, SimulationResult
+from repro.systems.conventional import ConventionalSystem
+from repro.systems.factory import (
+    baseline_machine,
+    build_system,
+    rampage_machine,
+    twoway_machine,
+)
+from repro.systems.rampage import RampageSystem
+from repro.systems.simulator import Simulator, simulate
+from repro.systems.virtual_l1 import VirtualL1RampageSystem
+
+__all__ = [
+    "MemorySystem",
+    "SimulationResult",
+    "ConventionalSystem",
+    "RampageSystem",
+    "VirtualL1RampageSystem",
+    "Simulator",
+    "simulate",
+    "build_system",
+    "baseline_machine",
+    "twoway_machine",
+    "rampage_machine",
+]

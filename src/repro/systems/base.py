@@ -1,0 +1,297 @@
+"""Shared machinery of both simulated machines.
+
+:class:`MemorySystem` holds everything the conventional and RAMpage
+hierarchies have in common -- the split L1 caches, the TLB, the Rambus
+channel, the clock and statistics, OS handler execution, and L1
+inclusion maintenance -- and defines the access protocol:
+
+* :meth:`access` is the scalar reference path: one (kind, vaddr, pid)
+  at a time, returning whether the reference completed (False means the
+  process was preempted by a switch-on-miss and the reference must
+  replay).
+* :meth:`run_chunk` consumes a :class:`~repro.trace.record.TraceChunk`
+  and returns how many references it consumed.  The base implementation
+  just loops over :meth:`access`; subclasses override it with an
+  inlined fast path that must stay observationally identical (tests
+  assert equivalence between the two).
+
+Timing rules are documented in DESIGN.md section 4; every charge in
+this file cites the paper parameter it implements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.clock import SimClock, ps_to_seconds
+from repro.core.params import MachineParams
+from repro.core.rng import XorShiftRNG
+from repro.core.stats import SimStats
+from repro.mem.cache import SetAssociativeCache
+from repro.mem.dram import RambusChannel
+from repro.mem.tlb import TLB
+from repro.ossim.handlers import HandlerLibrary
+from repro.trace.record import IFETCH, READ, WRITE, TraceChunk
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ossim.footprint import OsLayout
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    params: MachineParams
+    stats: SimStats
+
+    @property
+    def time_ps(self) -> int:
+        return self.stats.total_time_ps
+
+    @property
+    def seconds(self) -> float:
+        """Simulated run time in seconds (the unit of Tables 3-5)."""
+        return ps_to_seconds(self.time_ps)
+
+    @property
+    def level_fractions(self) -> dict[str, float]:
+        """Per-level time fractions (the unit of Figures 2-3)."""
+        return self.stats.level_times.fractions()
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Handler-reference overhead (the unit of Figure 4)."""
+        return self.stats.overhead_ratio
+
+    def summary(self) -> dict[str, object]:
+        """Compact description for reports and caching."""
+        return {
+            "kind": self.params.kind,
+            "issue_rate_hz": self.params.issue_rate_hz,
+            "transfer_unit_bytes": self.params.transfer_unit_bytes,
+            "switch_on_miss": self.params.switch_on_miss,
+            "seconds": self.seconds,
+            "workload_refs": self.stats.workload_refs,
+            "overhead_ratio": self.overhead_ratio,
+            "level_fractions": self.level_fractions,
+        }
+
+
+class MemorySystem:
+    """Base class of the two machines."""
+
+    kind = "abstract"
+
+    def __init__(self, params: MachineParams) -> None:
+        self.params = params
+        self.clock = SimClock(params.issue_rate_hz)
+        self.stats = SimStats()
+        self.lt = self.stats.level_times
+        root_rng = XorShiftRNG(params.seed)
+        # Fail fast if the cycle constants contradict the bus geometry
+        # (the 12/9-cycle penalties are bus arithmetic, not free knobs).
+        from repro.mem.bus import check_consistency
+
+        check_consistency(params.bus, params.l1)
+        self.l1i = SetAssociativeCache(params.l1.icache, root_rng.fork())
+        self.l1d = SetAssociativeCache(params.l1.dcache, root_rng.fork())
+        self.tlb = TLB(params.tlb, root_rng.fork())
+        self.rng = root_rng
+        self.channel = RambusChannel(params.dram)
+        self._l1_block_bits = self.l1i.block_bits
+        self._l1_hit_cycles = params.l1.hit_cycles
+        self._l1_miss_cycles = params.l1.miss_penalty_cycles
+        # Writeback cost differs between machines: 12 cycles with an L2
+        # tag update, 9 without one (paper section 4.3).
+        self._wb_cycles = (
+            params.l1.rampage_writeback_cycles
+            if params.kind == "rampage"
+            else params.l1.writeback_cycles
+        )
+        page_bytes = params.translation_page_bytes
+        self._page_bits = page_bytes.bit_length() - 1
+        self._page_mask = page_bytes - 1
+        self._vpn_space_bits = params.vaddr_bits - self._page_bits
+        self.handlers = HandlerLibrary(params.handlers, self._os_layout())
+        self._preempted = False
+
+    # ------------------------------------------------------------------
+    # Subclass protocol
+    # ------------------------------------------------------------------
+
+    def _os_layout(self) -> "OsLayout":
+        raise NotImplementedError
+
+    def _translate(self, gvpn: int) -> int:
+        """Slow translation path (TLB missed); returns the frame.
+
+        May run handler software, fault, and request preemption.
+        """
+        raise NotImplementedError
+
+    def _below_l1_fetch(self, paddr: int) -> None:
+        """Make the block at ``paddr`` available one level below L1."""
+        raise NotImplementedError
+
+    def _l1_writeback_below(self, victim_block: int) -> None:
+        """Propagate an L1 victim's dirty bit one level down."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Scalar reference path
+    # ------------------------------------------------------------------
+
+    def global_vpn(self, vaddr: int, pid: int) -> int:
+        """Combine pid and virtual page number into one key."""
+        return (pid << self._vpn_space_bits) | (vaddr >> self._page_bits)
+
+    def access(self, kind: int, vaddr: int, pid: int = 0) -> bool:
+        """Simulate one workload reference.
+
+        Returns False when the reference did not complete because the
+        process was preempted (switch-on-miss); the caller must replay
+        it after rescheduling.
+        """
+        gvpn = self.global_vpn(vaddr, pid)
+        frame = self.tlb.lookup(gvpn)
+        if frame is None:
+            frame = self._translate(gvpn)
+            if self._preempted:
+                self._preempted = False
+                return False
+        stats = self.stats
+        if kind == IFETCH:
+            stats.ifetches += 1
+        elif kind == WRITE:
+            stats.writes += 1
+        else:
+            stats.reads += 1
+        paddr = (frame << self._page_bits) | (vaddr & self._page_mask)
+        self._l1_access(kind, paddr)
+        return True
+
+    def run_chunk(self, chunk: TraceChunk) -> int:
+        """Consume a chunk; returns references consumed (see class doc)."""
+        pid = chunk.pid
+        kinds = chunk.kinds.tolist()
+        addrs = chunk.addrs.tolist()
+        for idx in range(len(kinds)):
+            if not self.access(kinds[idx], addrs[idx], pid):
+                return idx
+        return len(kinds)
+
+    # ------------------------------------------------------------------
+    # L1 handling (shared by workload and handler references)
+    # ------------------------------------------------------------------
+
+    def _l1_access(self, kind: int, paddr: int) -> None:
+        block = paddr >> self._l1_block_bits
+        stats = self.stats
+        if kind == IFETCH:
+            cache = self.l1i
+            slot = cache.slot_of(block)
+            if slot != -1:
+                stats.l1i_hits += 1
+                # An instruction fetch hit costs one issue cycle; data
+                # hits and TLB hits are fully pipelined (section 4.3).
+                self.lt.l1i += self.clock.tick_cycles(self._l1_hit_cycles)
+                return
+        else:
+            cache = self.l1d
+            slot = cache.slot_of(block)
+            if slot != -1:
+                stats.l1d_hits += 1
+                if kind == WRITE:
+                    cache.dirty[slot] = 1
+                return
+        self._l1_miss(cache, block, paddr, kind)
+
+    def _l1_miss(self, cache: SetAssociativeCache, block: int, paddr: int, kind: int) -> None:
+        stats = self.stats
+        if cache is self.l1i:
+            stats.l1i_misses += 1
+        else:
+            stats.l1d_misses += 1
+        self._below_l1_fetch(paddr)
+        # 12-cycle L1 miss penalty to L2 / SRAM main memory (section 4.3).
+        self.lt.l2 += self.clock.tick_cycles(self._l1_miss_cycles)
+        victim, victim_dirty = cache.fill(block, dirty=(kind == WRITE))
+        if victim != -1 and victim_dirty:
+            stats.l1_writebacks += 1
+            self.lt.l2 += self.clock.tick_cycles(self._wb_cycles)
+            self._l1_writeback_below(victim)
+        if kind == IFETCH:
+            self.lt.l1i += self.clock.tick_cycles(self._l1_hit_cycles)
+
+    def _flush_l1_range(self, base_paddr: int, nbytes: int) -> bool:
+        """Invalidate both L1 caches over a physical range (inclusion).
+
+        Each probe is charged an L1 hit time ("the given hit times are
+        however used when ... maintaining inclusion", section 4.3).
+        Dirty data blocks cost a writeback.  Returns True when any dirty
+        block was found, so the caller can write the enclosing block or
+        page back to DRAM.
+        """
+        first = base_paddr >> self._l1_block_bits
+        count = nbytes >> self._l1_block_bits
+        stats = self.stats
+        clock = self.clock
+        lt = self.lt
+        dirty_found = False
+        l1i, l1d = self.l1i, self.l1d
+        hit = self._l1_hit_cycles
+        for block in range(first, first + count):
+            lt.l1i += clock.tick_cycles(hit)
+            present, _ = l1i.invalidate(block)
+            if present:
+                stats.inclusion_invalidations += 1
+            lt.l1d += clock.tick_cycles(hit)
+            present, was_dirty = l1d.invalidate(block)
+            if present:
+                stats.inclusion_invalidations += 1
+                if was_dirty:
+                    dirty_found = True
+                    stats.l1_writebacks += 1
+                    lt.l2 += clock.tick_cycles(self._wb_cycles)
+        return dirty_found
+
+    # ------------------------------------------------------------------
+    # OS software execution
+    # ------------------------------------------------------------------
+
+    def _run_handler(self, refs: list[tuple[int, int]]) -> None:
+        """Execute handler references through the hierarchy.
+
+        Handler references are physically addressed (the OS runs below
+        translation) and therefore bypass the TLB; they do populate and
+        pollute the L1s and lower levels, as the paper's interleaved
+        handler traces do.
+        """
+        access = self._l1_access
+        for kind, paddr in refs:
+            access(kind, paddr)
+
+    def context_switch(self, pid: int) -> None:
+        """Run the ~400-reference context-switch trace (section 4.6)."""
+        refs = self.handlers.context_switch_refs(pid)
+        self.stats.context_switches += 1
+        self.stats.switch_refs += len(refs)
+        self._run_handler(refs)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def _dram_sync(self, nbytes: int) -> None:
+        """Blocking DRAM transfer: stall the CPU for queue + transfer."""
+        wait, cost = self.channel.synchronous(self.clock.now_ps, nbytes)
+        self.lt.dram += self.clock.tick_ps(wait + cost)
+        self.stats.dram_accesses += 1
+        self.stats.dram_stall_ps += wait
+
+    def finalize(self) -> SimulationResult:
+        """Fold component counters into the stats and wrap them up."""
+        self.stats.tlb_hits = self.tlb.hits
+        self.stats.tlb_misses = self.tlb.misses
+        return SimulationResult(params=self.params, stats=self.stats)

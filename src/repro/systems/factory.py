@@ -1,0 +1,120 @@
+"""Machine presets for the paper's section 4 configurations."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.errors import ConfigurationError
+from repro.core.params import (
+    CacheParams,
+    MachineParams,
+    RampageParams,
+    TlbParams,
+    L1Params,
+    MIB,
+    KIB,
+)
+from repro.systems.base import MemorySystem
+from repro.systems.conventional import ConventionalSystem
+from repro.systems.rampage import RampageSystem
+
+#: The issue rates swept in the experiments.  The paper states "issue
+#: rates of 200MHz to 4GHz are simulated"; these five sample that range
+#: with exactly integral picosecond cycle times.
+ISSUE_RATES_HZ = (
+    200_000_000,
+    500_000_000,
+    1_000_000_000,
+    2_000_000_000,
+    4_000_000_000,
+)
+
+#: Block / page sizes swept in Tables 3-5 and Figures 2-5.
+TRANSFER_SIZES = (128, 256, 512, 1024, 2048, 4096)
+
+
+def baseline_machine(
+    issue_rate_hz: int = 200_000_000,
+    block_bytes: int = 128,
+    scheduled_switches: bool = False,
+    **overrides,
+) -> MachineParams:
+    """Direct-mapped 4 MB L2 baseline (section 4.4)."""
+    return MachineParams(
+        kind="conventional",
+        issue_rate_hz=issue_rate_hz,
+        l2=CacheParams(4 * MIB, block_bytes, associativity=1),
+        scheduled_switches=scheduled_switches,
+        **overrides,
+    )
+
+
+def twoway_machine(
+    issue_rate_hz: int = 200_000_000,
+    block_bytes: int = 128,
+    scheduled_switches: bool = True,
+    **overrides,
+) -> MachineParams:
+    """2-way set-associative 4 MB L2, the "more realistic" machine
+    (section 4.7); context-switch traces are on by default as in
+    Table 5."""
+    return MachineParams(
+        kind="conventional",
+        issue_rate_hz=issue_rate_hz,
+        l2=CacheParams(4 * MIB, block_bytes, associativity=2),
+        scheduled_switches=scheduled_switches,
+        **overrides,
+    )
+
+
+def rampage_machine(
+    issue_rate_hz: int = 200_000_000,
+    page_bytes: int = 1 * KIB,
+    switch_on_miss: bool = False,
+    scheduled_switches: bool | None = None,
+    standby_pages: int = 0,
+    **overrides,
+) -> MachineParams:
+    """RAMpage machine (section 4.5).
+
+    ``scheduled_switches`` defaults to following ``switch_on_miss``:
+    Table 3's RAMpage rows carry no switch traces, Table 4's (switch on
+    miss) include the full context-switch modelling.
+    """
+    if scheduled_switches is None:
+        scheduled_switches = switch_on_miss
+    return MachineParams(
+        kind="rampage",
+        issue_rate_hz=issue_rate_hz,
+        rampage=RampageParams(page_bytes=page_bytes, standby_pages=standby_pages),
+        switch_on_miss=switch_on_miss,
+        scheduled_switches=scheduled_switches,
+        **overrides,
+    )
+
+
+def aggressive_l1() -> L1Params:
+    """The section 6.3 work-in-progress L1: 64 KB 8-way I and D."""
+    return L1Params(
+        icache=CacheParams(64 * KIB, 32, associativity=8),
+        dcache=CacheParams(64 * KIB, 32, associativity=8),
+    )
+
+
+def large_tlb() -> TlbParams:
+    """The section 6.3 work-in-progress TLB: 1K entries, 2-way."""
+    return TlbParams(entries=1024, associativity=2)
+
+
+def with_future_work_upgrades(params: MachineParams) -> MachineParams:
+    """Apply both section 6.3 upgrades to an existing machine."""
+    return replace(params, l1=aggressive_l1(), tlb=large_tlb())
+
+
+def build_system(params: MachineParams) -> MemorySystem:
+    """Instantiate the machine described by ``params``."""
+    if params.kind == "conventional":
+        return ConventionalSystem(params)
+    if params.kind == "rampage":
+        return RampageSystem(params)
+    raise ConfigurationError(f"unknown machine kind {params.kind!r}")

@@ -1,0 +1,277 @@
+"""The RAMpage machine (paper sections 2, 4.5-4.6).
+
+TLB -> split L1 -> SRAM main memory -> DRAM paging device.  The lowest
+SRAM level is a paged, tagless main memory: the TLB translates straight
+to SRAM frames, so a valid translation *guarantees* residency and an L1
+miss never needs a tag check below -- full associativity with no hit
+penalty, which is the paper's core trade.
+
+The price is software: TLB misses run an inverted-page-table lookup
+(pinned in SRAM, so it never touches DRAM -- section 2.3), and a page
+fault runs a clock-algorithm replacement plus a DRAM page transfer.
+With ``switch_on_miss`` enabled, the fault instead queues the transfer
+on the Rambus channel in the background, runs the context-switch trace
+and preempts the process (section 5.4); the CPU stalls later only if it
+needs the page (or the channel) before the transfer completes.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+from repro.core.params import MachineParams
+from repro.mem.sram_memory import SramMainMemory
+from repro.ossim.footprint import OsLayout, rampage_layout
+from repro.systems.base import MemorySystem
+from repro.trace.record import IFETCH, TraceChunk
+
+#: Bytes read from the DRAM-resident page table to locate a page's DRAM
+#: copy during a fault (one table entry plus its cache line padding).
+DRAM_TABLE_ENTRY_BYTES = 32
+
+
+class RampageSystem(MemorySystem):
+    """SRAM-main-memory machine with software-managed replacement."""
+
+    kind = "rampage"
+
+    def __init__(self, params: MachineParams) -> None:
+        if params.kind != "rampage":
+            raise ConfigurationError(
+                f"RampageSystem requires kind='rampage', got {params.kind!r}"
+            )
+        super().__init__(params)
+        self.sram = SramMainMemory(params.rampage)
+        self._page_bytes = params.rampage.page_bytes
+        self.switch_on_miss = params.switch_on_miss
+        #: In-flight background page transfers: frame -> ready time (ps).
+        self._pending: dict[int, int] = {}
+        self._current_pid = 0
+
+    def _os_layout(self) -> OsLayout:
+        return rampage_layout(self.params.rampage)
+
+    # ------------------------------------------------------------------
+    # Translation and faulting
+    # ------------------------------------------------------------------
+
+    def _translate(self, gvpn: int) -> int:
+        """TLB miss: inverted-table lookup in pinned SRAM, fault if absent."""
+        pid = gvpn >> self._vpn_space_bits
+        counts = self.stats.tlb_misses_by_pid
+        counts[pid] = counts.get(pid, 0) + 1
+        frame, probes = self.sram.translate(gvpn)
+        refs = self.handlers.tlb_miss_refs(gvpn, probes)
+        self.stats.tlb_handler_refs += len(refs)
+        self._run_handler(refs)
+        if frame == -1:
+            frame = self._page_fault(gvpn)
+        self.tlb.insert(gvpn, frame)
+        self.sram.touch(frame)
+        return frame
+
+    def _page_fault(self, gvpn: int) -> int:
+        """Service a page fault from the SRAM main memory.
+
+        Charges: fault-handler software (including the clock scan),
+        victim TLB flush, L1 flush of the reused frame, a DRAM
+        page-table entry read, the dirty-victim writeback and the page
+        fetch.  Under switch-on-miss the two page transfers are queued
+        in the background and the process is preempted instead of
+        stalling.
+        """
+        stats = self.stats
+        stats.page_faults += 1
+        pid = gvpn >> self._vpn_space_bits
+        stats.faults_by_pid[pid] = stats.faults_by_pid.get(pid, 0) + 1
+        outcome = self.sram.fault(gvpn)
+        refs = self.handlers.page_fault_refs(gvpn, outcome.scanned)
+        stats.fault_handler_refs += len(refs)
+        self._run_handler(refs)
+        if outcome.unmapped_vpn is not None:
+            # The victim's translation is gone; flush its TLB entry
+            # (section 2.3: "if a page is replaced ... its entry in the
+            # TLB is flushed").
+            self.tlb.flush_vpn(outcome.unmapped_vpn)
+        if outcome.soft:
+            # Standby-list reclaim: contents still in the frame.
+            return outcome.frame
+        frame = outcome.frame
+        dirty_l1 = False
+        if outcome.reused:
+            dirty_l1 = self._flush_l1_range(
+                frame << self._page_bits, self._page_bytes
+            )
+        if frame in self._pending:
+            # The frame's previous fill is still in flight; the OS must
+            # wait before overwriting it.
+            stall = self.clock.advance_to(self._pending.pop(frame))
+            self.lt.dram += stall
+            stats.dram_stall_ps += stall
+        needs_writeback = outcome.writeback_vpn is not None or dirty_l1
+        # One entry read from the DRAM-resident page table locates the
+        # page's DRAM copy (translations to DRAM are off the critical
+        # path and not cached by the TLB -- section 2.3).
+        self._dram_sync(DRAM_TABLE_ENTRY_BYTES)
+        if self.switch_on_miss:
+            now = self.clock.now_ps
+            if needs_writeback:
+                stats.page_writebacks += 1
+                self.channel.begin_background(now, self._page_bytes)
+            ready = self.channel.begin_background(now, self._page_bytes)
+            stats.dram_overlap_ps += ready - now
+            self._prune_pending(now)
+            self._pending[frame] = ready
+            stats.switches_on_miss += 1
+            self.context_switch(self._current_pid)
+            self._preempted = True
+        else:
+            if needs_writeback:
+                stats.page_writebacks += 1
+                self._dram_sync(self._page_bytes)
+            self._dram_sync(self._page_bytes)
+        return frame
+
+    def _prune_pending(self, now_ps: int) -> None:
+        if not self._pending:
+            return
+        done = [f for f, ready in self._pending.items() if ready <= now_ps]
+        for frame in done:
+            del self._pending[frame]
+
+    # ------------------------------------------------------------------
+    # Below-L1: the SRAM main memory
+    # ------------------------------------------------------------------
+
+    def _below_l1_fetch(self, paddr: int) -> None:
+        # A valid translation guarantees residency, so there is nothing
+        # to look up -- the 12-cycle transfer is charged by the caller.
+        # The only exception is a page still arriving from DRAM.
+        if self._pending:
+            frame = paddr >> self._page_bits
+            ready = self._pending.get(frame)
+            if ready is not None:
+                del self._pending[frame]
+                stall = self.clock.advance_to(ready)
+                self.lt.dram += stall
+                self.stats.dram_stall_ps += stall
+
+    def _l1_writeback_below(self, victim_block: int) -> None:
+        frame = victim_block >> (self._page_bits - self._l1_block_bits)
+        self.sram.mark_dirty(frame)
+
+    # ------------------------------------------------------------------
+    # Fast chunk path
+    # ------------------------------------------------------------------
+
+    def run_chunk(self, chunk: TraceChunk) -> int:
+        """Inlined hot loop; observationally identical to base access().
+
+        Unlike the conventional machine, no micro-cache over the last
+        translation survives a slow path: a page fault can unmap any
+        page, so the cached (vpn, frame) pair is dropped after every
+        TLB miss.
+        """
+        self._current_pid = chunk.pid
+        kinds = chunk.kinds.tolist()
+        addrs = chunk.addrs.tolist()
+        n = len(kinds)
+        pid_base = chunk.pid << self._vpn_space_bits
+        page_bits = self._page_bits
+        page_mask = self._page_mask
+        l1_bits = self._l1_block_bits
+        tlb = self.tlb
+        l1i, l1d = self.l1i, self.l1d
+        fast_l1 = l1i.ways == 1 and l1d.ways == 1
+        i_tags, d_tags = l1i.tags, l1d.tags
+        d_dirty = l1d.dirty
+        i_mask, d_mask = l1i.set_mask, l1d.set_mask
+        clock = self.clock
+        lt = self.lt
+        stats = self.stats
+        ifetches = reads = writes = 0
+        i_hits = d_hits = 0
+        icycles = 0
+        last_vpn = -1
+        last_frame = 0
+        idx = 0
+        while idx < n:
+            vaddr = addrs[idx]
+            gvpn = pid_base | (vaddr >> page_bits)
+            if gvpn == last_vpn:
+                frame = last_frame
+                tlb.hits += 1
+            else:
+                frame = tlb.lookup(gvpn)
+                if frame is None:
+                    if icycles:
+                        lt.l1i += clock.tick_cycles(icycles)
+                        icycles = 0
+                    frame = self._translate(gvpn)
+                    last_vpn = -1  # a fault may have remapped pages
+                    if self._preempted:
+                        self._preempted = False
+                        break
+                else:
+                    last_vpn = gvpn
+                    last_frame = frame
+            paddr = (frame << page_bits) | (vaddr & page_mask)
+            kind = kinds[idx]
+            block = paddr >> l1_bits
+            idx += 1
+            if kind == IFETCH:
+                ifetches += 1
+                if fast_l1 and i_tags[block & i_mask] == block:
+                    i_hits += 1
+                    icycles += 1
+                    continue
+                if icycles:
+                    lt.l1i += clock.tick_cycles(icycles)
+                    icycles = 0
+                if not fast_l1:
+                    slot = l1i.slot_of(block)
+                    if slot != -1:
+                        i_hits += 1
+                        lt.l1i += clock.tick_cycles(self._l1_hit_cycles)
+                        continue
+                self._l1_miss(l1i, block, paddr, kind)
+            else:
+                if fast_l1:
+                    slot = block & d_mask
+                    if d_tags[slot] == block:
+                        d_hits += 1
+                        if kind == 1:
+                            writes += 1
+                            d_dirty[slot] = 1
+                        else:
+                            reads += 1
+                        continue
+                else:
+                    slot = l1d.slot_of(block)
+                    if slot != -1:
+                        d_hits += 1
+                        if kind == 1:
+                            writes += 1
+                            l1d.dirty[slot] = 1
+                        else:
+                            reads += 1
+                        continue
+                if kind == 1:
+                    writes += 1
+                else:
+                    reads += 1
+                if icycles:
+                    lt.l1i += clock.tick_cycles(icycles)
+                    icycles = 0
+                self._l1_miss(l1d, block, paddr, kind)
+        if icycles:
+            lt.l1i += clock.tick_cycles(icycles)
+        stats.ifetches += ifetches
+        stats.reads += reads
+        stats.writes += writes
+        stats.l1i_hits += i_hits
+        stats.l1d_hits += d_hits
+        return idx
+
+    def access(self, kind: int, vaddr: int, pid: int = 0) -> bool:
+        self._current_pid = pid
+        return super().access(kind, vaddr, pid)

@@ -1,0 +1,211 @@
+"""RAMpage with virtually-indexed, virtually-tagged L1 caches.
+
+Section 2.3 leaves a design point open: "it is possible in principle to
+address the L1 cache virtually, in which case the TLB would only be
+needed on a miss to the SRAM main memory ... This possibility is not
+explored in this paper."  This module explores it.
+
+With virtual L1s, a hit needs no translation at all -- the TLB (and its
+miss handler) is consulted only on the L1 miss path, which removes the
+dominant software cost of small SRAM pages (Figure 4's 60%-plus
+overhead).  The classic virtual-cache hazards are handled the way a
+single-address-space RAMpage OS would:
+
+* **homonyms** (same vaddr, different process): L1 blocks are tagged
+  with the process id (a pid-extended virtual block number), so no
+  flushing on context switch;
+* **stale translations**: replacing an SRAM page flushes the page's L1
+  blocks *by virtual range* (the fault handler knows the victim's vpn),
+  so no L1 line can outlive its page;
+* **writebacks**: each L1 line carries its physical frame the way real
+  virtual caches carry a physical tag for coherency, modelled by an
+  SRAM page-table lookup off the critical path (no handler software is
+  charged -- it is a hardware-assisted reverse lookup);
+* **synonyms** (shared memory): out of scope, as in the paper (no
+  sharing between the workload's processes).
+
+The OS's own physically-addressed handler references are kept disjoint
+from every process's virtual space with a reserved pid tag.
+
+Only the RAMpage machine gets this option: a conventional hierarchy
+maintains L1/L2 inclusion by *physical* block, which a virtual L1
+cannot honour without the reverse maps this design avoids -- the
+asymmetry is itself one of the paper's hardware-vs-software points.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+from repro.core.params import MachineParams
+from repro.mem.inverted_page_table import FREE
+from repro.systems.rampage import DRAM_TABLE_ENTRY_BYTES, RampageSystem
+from repro.trace.record import IFETCH, WRITE, TraceChunk
+
+#: Reserved "process id" tagging the OS's physically-addressed handler
+#: references so they can share the virtually-indexed L1s without
+#: colliding with any real process's address space.
+OS_PID = 1 << 20
+
+
+class VirtualL1RampageSystem(RampageSystem):
+    """RAMpage variant translating only on L1 misses."""
+
+    kind = "rampage"
+
+    def __init__(self, params: MachineParams) -> None:
+        if params.kind != "rampage":
+            raise ConfigurationError("virtual-L1 machines are RAMpage-only")
+        super().__init__(params)
+        self._vblock_shift = params.vaddr_bits - self._l1_block_bits
+        self._blocks_per_page_bits = self._page_bits - self._l1_block_bits
+
+    # ------------------------------------------------------------------
+    # Reference path: L1 first, translate only on a miss
+    # ------------------------------------------------------------------
+
+    def access(self, kind: int, vaddr: int, pid: int = 0) -> bool:
+        self._current_pid = pid
+        stats = self.stats
+        vblock = (pid << self._vblock_shift) | (vaddr >> self._l1_block_bits)
+        cache = self.l1i if kind == IFETCH else self.l1d
+        slot = cache.slot_of(vblock)
+        if slot != -1:
+            if kind == IFETCH:
+                stats.ifetches += 1
+                stats.l1i_hits += 1
+                self.lt.l1i += self.clock.tick_cycles(self._l1_hit_cycles)
+            else:
+                if kind == WRITE:
+                    stats.writes += 1
+                    cache.dirty[slot] = 1
+                else:
+                    stats.reads += 1
+                stats.l1d_hits += 1
+            return True
+        # Miss: now (and only now) translate.
+        gvpn = self.global_vpn(vaddr, pid)
+        frame = self.tlb.lookup(gvpn)
+        if frame is None:
+            frame = self._translate(gvpn)
+            if self._preempted:
+                self._preempted = False
+                return False
+        if kind == IFETCH:
+            stats.ifetches += 1
+        elif kind == WRITE:
+            stats.writes += 1
+        else:
+            stats.reads += 1
+        paddr = (frame << self._page_bits) | (vaddr & self._page_mask)
+        self._l1_miss(cache, vblock, paddr, kind)
+        return True
+
+    def run_chunk(self, chunk: TraceChunk) -> int:
+        """Scalar loop; the virtual path has no inlined fast loop."""
+        pid = chunk.pid
+        kinds = chunk.kinds.tolist()
+        addrs = chunk.addrs.tolist()
+        for idx in range(len(kinds)):
+            if not self.access(kinds[idx], addrs[idx], pid):
+                return idx
+        return len(kinds)
+
+    # ------------------------------------------------------------------
+    # Below-L1 plumbing in virtual-block space
+    # ------------------------------------------------------------------
+
+    def _l1_access(self, kind: int, paddr: int) -> None:
+        """Handler references: physically addressed, OS-pid tagged."""
+        vblock = (OS_PID << self._vblock_shift) | (paddr >> self._l1_block_bits)
+        cache = self.l1i if kind == IFETCH else self.l1d
+        slot = cache.slot_of(vblock)
+        stats = self.stats
+        if slot != -1:
+            if kind == IFETCH:
+                stats.l1i_hits += 1
+                self.lt.l1i += self.clock.tick_cycles(self._l1_hit_cycles)
+            else:
+                stats.l1d_hits += 1
+                if kind == WRITE:
+                    cache.dirty[slot] = 1
+            return
+        self._l1_miss(cache, vblock, paddr, kind)
+
+    def _l1_writeback_below(self, victim_vblock: int) -> None:
+        pid = victim_vblock >> self._vblock_shift
+        if pid == OS_PID:
+            # OS blocks map identity within the pinned frames.
+            paddr_block = victim_vblock & ((1 << self._vblock_shift) - 1)
+            frame = paddr_block >> self._blocks_per_page_bits
+            self.sram.mark_dirty(frame)
+            return
+        # The line's physical tag: resolved via the page table, off the
+        # critical path (no handler software charged).
+        gvpn = victim_vblock >> self._blocks_per_page_bits
+        frame, _ = self.sram.translate(gvpn)
+        if frame == FREE:
+            raise ConfigurationError(
+                "virtual L1 line outlived its SRAM page; flush logic broken"
+            )
+        self.sram.mark_dirty(frame)
+
+    def _flush_victim_page(self, gvpn: int) -> bool:
+        """Flush a dying page's L1 blocks by virtual range."""
+        base_vblock = gvpn << self._blocks_per_page_bits
+        return self._flush_l1_range(
+            base_vblock << self._l1_block_bits, self._page_bytes
+        )
+
+    def _page_fault(self, gvpn: int) -> int:
+        """Same fault protocol, but L1 flushes are by virtual page.
+
+        The flush must cover the *unmapped* page (its lines are tagged
+        with its vpn) before the frame is reused; soft-reclaimed pages
+        keep their lines, which stay correct because the vpn->frame
+        mapping is restored unchanged.
+        """
+        stats = self.stats
+        stats.page_faults += 1
+        pid = gvpn >> self._vpn_space_bits
+        stats.faults_by_pid[pid] = stats.faults_by_pid.get(pid, 0) + 1
+        outcome = self.sram.fault(gvpn)
+        refs = self.handlers.page_fault_refs(gvpn, outcome.scanned)
+        stats.fault_handler_refs += len(refs)
+        self._run_handler(refs)
+        if outcome.unmapped_vpn is not None:
+            self.tlb.flush_vpn(outcome.unmapped_vpn)
+        if outcome.soft:
+            return outcome.frame
+        frame = outcome.frame
+        dirty_l1 = False
+        if outcome.discarded_vpn is not None:
+            # The destroyed page's lines must go even when it was clean
+            # (they are tagged by vpn and would alias a later re-fault).
+            dirty_l1 = self._flush_victim_page(outcome.discarded_vpn)
+        # (On the standby path the clock victim parks with its frame and
+        # lines intact; nothing to flush for it -- its mapping returns
+        # unchanged on a soft fault.)
+        if frame in self._pending:
+            stall = self.clock.advance_to(self._pending.pop(frame))
+            self.lt.dram += stall
+            stats.dram_stall_ps += stall
+        needs_writeback = outcome.writeback_vpn is not None or dirty_l1
+        self._dram_sync(DRAM_TABLE_ENTRY_BYTES)
+        if self.switch_on_miss:
+            now = self.clock.now_ps
+            if needs_writeback:
+                stats.page_writebacks += 1
+                self.channel.begin_background(now, self._page_bytes)
+            ready = self.channel.begin_background(now, self._page_bytes)
+            stats.dram_overlap_ps += ready - now
+            self._prune_pending(now)
+            self._pending[frame] = ready
+            stats.switches_on_miss += 1
+            self.context_switch(self._current_pid)
+            self._preempted = True
+        else:
+            if needs_writeback:
+                stats.page_writebacks += 1
+                self._dram_sync(self._page_bytes)
+            self._dram_sync(self._page_bytes)
+        return frame

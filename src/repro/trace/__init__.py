@@ -1,0 +1,43 @@
+"""Address-trace substrate.
+
+The paper drives its simulations with 18 address traces from the NMSU
+Tracebase archive (Table 2), interleaved every 500 k references to model
+a multiprogramming workload.  Those traces are not redistributable, so
+this package provides:
+
+* :mod:`repro.trace.record` -- reference kinds and record types,
+* :mod:`repro.trace.patterns` -- vectorised address-pattern primitives
+  (branchy code, sequential/strided sweeps, hot-set and pointer-chase
+  data),
+* :mod:`repro.trace.benchmarks` -- the Table 2 catalogue with each
+  program's instruction-fetch and total reference counts,
+* :mod:`repro.trace.synthetic` -- per-program synthetic generators
+  assembled from the patterns,
+* :mod:`repro.trace.interleave` -- the 500 k-reference round-robin
+  interleaver with rotation support for context-switch-on-miss,
+* :mod:`repro.trace.dinero` -- a dinero-style ``.din`` text format for
+  persisting traces,
+* :mod:`repro.trace.stream` -- stream utilities (take / count / concat).
+"""
+
+from repro.trace.benchmarks import TABLE2_PROGRAMS, ProgramSpec, table2_catalog
+from repro.trace.interleave import InterleavedWorkload, ProgramStream
+from repro.trace.record import IFETCH, READ, WRITE, KIND_NAMES, Reference, TraceChunk
+from repro.trace.synthetic import SyntheticProgram, build_program, build_workload
+
+__all__ = [
+    "TABLE2_PROGRAMS",
+    "ProgramSpec",
+    "table2_catalog",
+    "InterleavedWorkload",
+    "ProgramStream",
+    "IFETCH",
+    "READ",
+    "WRITE",
+    "KIND_NAMES",
+    "Reference",
+    "TraceChunk",
+    "SyntheticProgram",
+    "build_program",
+    "build_workload",
+]

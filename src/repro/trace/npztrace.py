@@ -1,0 +1,88 @@
+"""Compact binary trace files (numpy ``.npz``).
+
+The text ``.din`` format (:mod:`repro.trace.dinero`) is interoperable
+but bulky (~10 bytes per reference); this module stores the same chunk
+streams as compressed numpy arrays, typically 10-30x smaller and far
+faster to load.  Layout: three parallel arrays over the whole stream --
+``kinds`` (uint8), ``addrs`` (uint64), ``pids`` (int32) -- written as
+one array set per file.  Chunk boundaries are not preserved (they are
+not semantically meaningful; see ``tests/test_determinism.py``): reads
+re-chunk at pid changes and ``chunk_refs``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.errors import TraceFormatError
+from repro.trace.record import ADDR_DTYPE, KIND_DTYPE, KIND_NAMES, TraceChunk
+
+_FORMAT_VERSION = 1
+
+
+def write_npz(path: str | Path, chunks: Iterable[TraceChunk]) -> int:
+    """Write a chunk stream; returns the number of references written."""
+    kinds_parts: list[np.ndarray] = []
+    addrs_parts: list[np.ndarray] = []
+    pids_parts: list[np.ndarray] = []
+    for chunk in chunks:
+        if len(chunk) == 0:
+            continue
+        kinds_parts.append(np.asarray(chunk.kinds, dtype=KIND_DTYPE))
+        addrs_parts.append(np.asarray(chunk.addrs, dtype=ADDR_DTYPE))
+        pids_parts.append(np.full(len(chunk), chunk.pid, dtype=np.int32))
+    if kinds_parts:
+        kinds = np.concatenate(kinds_parts)
+        addrs = np.concatenate(addrs_parts)
+        pids = np.concatenate(pids_parts)
+    else:
+        kinds = np.empty(0, dtype=KIND_DTYPE)
+        addrs = np.empty(0, dtype=ADDR_DTYPE)
+        pids = np.empty(0, dtype=np.int32)
+    np.savez_compressed(
+        path,
+        version=np.int32(_FORMAT_VERSION),
+        kinds=kinds,
+        addrs=addrs,
+        pids=pids,
+    )
+    return int(len(kinds))
+
+
+def read_npz(path: str | Path, chunk_refs: int = 65_536) -> Iterator[TraceChunk]:
+    """Stream chunks back; splits at pid changes and ``chunk_refs``."""
+    with np.load(path) as data:
+        try:
+            version = int(data["version"])
+            kinds = data["kinds"]
+            addrs = data["addrs"]
+            pids = data["pids"]
+        except KeyError as exc:
+            raise TraceFormatError(f"{path}: not a repro trace file") from exc
+    if version != _FORMAT_VERSION:
+        raise TraceFormatError(
+            f"{path}: unsupported trace version {version} "
+            f"(this build reads {_FORMAT_VERSION})"
+        )
+    if not (len(kinds) == len(addrs) == len(pids)):
+        raise TraceFormatError(f"{path}: parallel arrays disagree in length")
+    if len(kinds) and not np.isin(kinds, list(KIND_NAMES)).all():
+        raise TraceFormatError(f"{path}: contains unknown reference kinds")
+    # Split at pid changes, then cap segment length at chunk_refs.
+    if len(kinds) == 0:
+        return
+    change_points = np.flatnonzero(np.diff(pids)) + 1
+    segments = np.split(np.arange(len(kinds)), change_points)
+    for segment in segments:
+        start, stop = int(segment[0]), int(segment[-1]) + 1
+        pid = int(pids[start])
+        for lo in range(start, stop, chunk_refs):
+            hi = min(lo + chunk_refs, stop)
+            yield TraceChunk(
+                pid=pid,
+                kinds=kinds[lo:hi].astype(KIND_DTYPE, copy=False),
+                addrs=addrs[lo:hi].astype(ADDR_DTYPE, copy=False),
+            )

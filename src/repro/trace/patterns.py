@@ -1,0 +1,205 @@
+"""Vectorised address-pattern primitives.
+
+The synthetic programs in :mod:`repro.trace.synthetic` are assembled
+from these building blocks.  Each function returns a numpy ``uint64``
+array of byte addresses; all are deterministic given the supplied
+``numpy.random.Generator``.
+
+The primitives model the locality classes the paper's workloads exhibit:
+
+* :func:`branchy_code` -- instruction streams: sequential runs of
+  word-sized fetches broken by branches back into a loop-structured code
+  region (utilities and integer codes branch often; floating-point
+  kernels have long straight runs).
+* :func:`sequential_stream` / :func:`strided_stream` -- array sweeps
+  typical of the SPECfp92 kernels (hydro2d, su2cor, swm256, nasa7 ...).
+* :func:`hot_set` -- uniform references inside a small hot working set
+  (symbol tables, stacks, dictionaries).
+* :func:`pointer_chase` -- a permutation walk over a region, the
+  worst-case temporal pattern (compress's hash probing, gcc's IR walks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+from repro.trace.record import ADDR_DTYPE
+
+WORD_BYTES = 4
+
+
+def _require_positive(value: int, name: str) -> None:
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+
+
+def branchy_code(
+    rng: np.random.Generator,
+    count: int,
+    code_bytes: int,
+    mean_run: int = 12,
+    base: int = 0,
+) -> np.ndarray:
+    """Instruction-fetch addresses for a loop-structured code region.
+
+    Fetches advance one word at a time in runs whose lengths are
+    geometric with mean ``mean_run``; each run ends with a branch to a
+    word-aligned target inside ``code_bytes``.  Branch targets are drawn
+    from a small set of "loop heads" so the stream re-visits the same
+    code, as real loops do.
+    """
+    _require_positive(count, "count")
+    _require_positive(code_bytes, "code_bytes")
+    _require_positive(mean_run, "mean_run")
+    # Enough geometric runs to cover `count` fetches with slack.
+    est_runs = max(8, int(count / mean_run * 2) + 8)
+    run_lengths = rng.geometric(1.0 / mean_run, size=est_runs)
+    while int(run_lengths.sum()) < count:
+        run_lengths = np.concatenate(
+            [run_lengths, rng.geometric(1.0 / mean_run, size=est_runs)]
+        )
+    # A handful of loop heads; branch targets are Zipf-weighted so a few
+    # hot loops dominate, as in real instruction streams.
+    num_heads = max(4, code_bytes // 4096)
+    heads = (
+        rng.integers(0, max(1, code_bytes // WORD_BYTES), size=num_heads)
+        * WORD_BYTES
+    )
+    ranks = np.arange(1, num_heads + 1, dtype=np.float64)
+    head_probs = (1.0 / ranks) / (1.0 / ranks).sum()
+    starts = heads[rng.choice(num_heads, size=len(run_lengths), p=head_probs)]
+    offsets_within = np.arange(int(run_lengths.max()), dtype=np.int64) * WORD_BYTES
+    pieces = []
+    produced = 0
+    for start, length in zip(starts.tolist(), run_lengths.tolist()):
+        take = min(length, count - produced)
+        if take <= 0:
+            break
+        pieces.append((start + offsets_within[:take]) % code_bytes)
+        produced += take
+    addrs = np.concatenate(pieces).astype(ADDR_DTYPE)
+    return addrs + ADDR_DTYPE(base)
+
+
+def sequential_stream(
+    count: int, region_bytes: int, start: int = 0, base: int = 0
+) -> np.ndarray:
+    """Word-sized sequential sweep, wrapping within ``region_bytes``."""
+    _require_positive(count, "count")
+    _require_positive(region_bytes, "region_bytes")
+    offsets = (start + np.arange(count, dtype=np.int64) * WORD_BYTES) % region_bytes
+    return offsets.astype(ADDR_DTYPE) + ADDR_DTYPE(base)
+
+
+def strided_stream(
+    count: int, region_bytes: int, stride_bytes: int, start: int = 0, base: int = 0
+) -> np.ndarray:
+    """Strided sweep (column accesses, FFT butterflies), wrapping."""
+    _require_positive(count, "count")
+    _require_positive(region_bytes, "region_bytes")
+    _require_positive(stride_bytes, "stride_bytes")
+    offsets = (start + np.arange(count, dtype=np.int64) * stride_bytes) % region_bytes
+    return offsets.astype(ADDR_DTYPE) + ADDR_DTYPE(base)
+
+
+def hot_set(
+    rng: np.random.Generator,
+    count: int,
+    region_bytes: int,
+    base: int = 0,
+    focus: float = 0.75,
+    core_frac: float = 0.125,
+) -> np.ndarray:
+    """Word-aligned references inside a hot region, with 80/20 skew.
+
+    A ``focus`` fraction of references lands in the leading
+    ``core_frac`` of the region (symbol-table hot buckets, the top of a
+    working set); the rest is uniform over the whole region.  The skew
+    gives the core strong L1 temporal locality while the full region
+    still circulates through L2-sized levels -- the behaviour real
+    "hot structure" traffic shows.  ``focus=0`` restores a uniform
+    distribution.
+    """
+    _require_positive(count, "count")
+    _require_positive(region_bytes, "region_bytes")
+    if not 0.0 <= focus <= 1.0 or not 0.0 < core_frac <= 1.0:
+        raise ConfigurationError("focus in [0,1] and core_frac in (0,1] required")
+    words = max(1, region_bytes // WORD_BYTES)
+    core_words = max(1, int(words * core_frac))
+    offsets = rng.integers(0, words, size=count, dtype=np.int64)
+    in_core = rng.random(count) < focus
+    n_core = int(in_core.sum())
+    if n_core:
+        offsets[in_core] = rng.integers(0, core_words, size=n_core, dtype=np.int64)
+    return (offsets * WORD_BYTES).astype(ADDR_DTYPE) + ADDR_DTYPE(base)
+
+
+def pointer_chase(
+    rng: np.random.Generator,
+    count: int,
+    region_bytes: int,
+    node_bytes: int = 32,
+    start_node: int = 0,
+    base: int = 0,
+) -> np.ndarray:
+    """A walk along a fixed random permutation of nodes in a region.
+
+    The permutation is derived deterministically from ``rng``; walking
+    it gives no spatial locality and a reuse distance equal to the node
+    count -- the pattern that defeats small caches and rewards large
+    fully associative ones.
+    """
+    _require_positive(count, "count")
+    _require_positive(region_bytes, "region_bytes")
+    _require_positive(node_bytes, "node_bytes")
+    nodes = max(2, region_bytes // node_bytes)
+    perm = rng.permutation(nodes)
+    node = start_node % nodes
+    out = np.empty(count, dtype=np.int64)
+    # The walk itself is sequential by nature; chase via repeated
+    # permutation indexing in vector chunks of the cycle.
+    idx = np.empty(min(count, nodes), dtype=np.int64)
+    produced = 0
+    while produced < count:
+        span = min(count - produced, nodes)
+        for i in range(span):
+            idx[i] = node
+            node = int(perm[node])
+        out[produced : produced + span] = idx[:span] * node_bytes
+        produced += span
+    return out.astype(ADDR_DTYPE) + ADDR_DTYPE(base)
+
+
+def mixture(
+    rng: np.random.Generator,
+    parts: list[np.ndarray],
+    weights: list[float],
+    count: int,
+) -> np.ndarray:
+    """Interleave pattern arrays element-wise according to ``weights``.
+
+    Each output position is assigned to one part with probability
+    proportional to its weight; parts are consumed in order (cyclically
+    if shorter than needed).  This preserves each pattern's internal
+    sequentiality while mixing streams the way real programs do.
+    """
+    if len(parts) != len(weights) or not parts:
+        raise ConfigurationError("parts and weights must be non-empty and equal length")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ConfigurationError("weights must sum to a positive value")
+    probs = np.asarray(weights, dtype=np.float64) / total
+    choices = rng.choice(len(parts), size=count, p=probs)
+    out = np.empty(count, dtype=ADDR_DTYPE)
+    for part_idx, part in enumerate(parts):
+        mask = choices == part_idx
+        need = int(mask.sum())
+        if need == 0:
+            continue
+        if len(part) == 0:
+            raise ConfigurationError(f"pattern part {part_idx} is empty")
+        reps = -(-need // len(part))  # ceil division
+        supply = np.tile(part, reps)[:need] if reps > 1 else part[:need]
+        out[mask] = supply
+    return out

@@ -1,0 +1,105 @@
+"""Reference kinds and record types.
+
+A memory reference is a ``(kind, vaddr)`` pair belonging to a process.
+Kinds follow the classic dinero numbering so ``.din`` files round-trip:
+``0`` = data read, ``1`` = data write, ``2`` = instruction fetch.
+
+Bulk data moves through :class:`TraceChunk` -- parallel numpy arrays of
+kinds and addresses for one process -- because a per-reference Python
+object would dominate simulation time.  :class:`Reference` exists for
+the scalar API and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, NamedTuple
+
+import numpy as np
+
+from repro.core.errors import TraceFormatError
+
+READ = 0
+WRITE = 1
+IFETCH = 2
+
+KIND_NAMES = {READ: "read", WRITE: "write", IFETCH: "ifetch"}
+_VALID_KINDS = frozenset(KIND_NAMES)
+
+KIND_DTYPE = np.uint8
+ADDR_DTYPE = np.uint64
+
+
+class Reference(NamedTuple):
+    """A single memory reference by one process."""
+
+    kind: int
+    vaddr: int
+    pid: int = 0
+
+    def validate(self, vaddr_bits: int = 32) -> "Reference":
+        """Return self after checking kind and address range."""
+        if self.kind not in _VALID_KINDS:
+            raise TraceFormatError(f"unknown reference kind {self.kind}")
+        if not 0 <= self.vaddr < (1 << vaddr_bits):
+            raise TraceFormatError(
+                f"address {self.vaddr:#x} outside {vaddr_bits}-bit space"
+            )
+        if self.pid < 0:
+            raise TraceFormatError(f"negative pid {self.pid}")
+        return self
+
+
+@dataclass
+class TraceChunk:
+    """A run of references from a single process.
+
+    ``kinds`` and ``addrs`` are parallel arrays.  ``new_slice`` marks
+    the first chunk after a scheduling boundary; the simulator inserts
+    a context-switch trace there when scheduled switches are enabled.
+    """
+
+    pid: int
+    kinds: np.ndarray
+    addrs: np.ndarray
+    new_slice: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.kinds) != len(self.addrs):
+            raise TraceFormatError(
+                f"kinds ({len(self.kinds)}) and addrs ({len(self.addrs)}) "
+                "must have equal length"
+            )
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def references(self) -> Iterator[Reference]:
+        """Iterate as scalar :class:`Reference` values (slow path)."""
+        pid = self.pid
+        for kind, addr in zip(self.kinds.tolist(), self.addrs.tolist()):
+            yield Reference(int(kind), int(addr), pid)
+
+    @classmethod
+    def from_references(cls, refs: Iterable[Reference], pid: int | None = None) -> "TraceChunk":
+        """Build a chunk from scalar references (all must share a pid)."""
+        refs = list(refs)
+        if pid is None:
+            pid = refs[0].pid if refs else 0
+        for ref in refs:
+            if ref.pid != pid:
+                raise TraceFormatError(
+                    f"chunk mixes pids {pid} and {ref.pid}; split it first"
+                )
+        kinds = np.fromiter((r.kind for r in refs), dtype=KIND_DTYPE, count=len(refs))
+        addrs = np.fromiter((r.vaddr for r in refs), dtype=ADDR_DTYPE, count=len(refs))
+        return cls(pid=pid, kinds=kinds, addrs=addrs)
+
+
+def empty_chunk(pid: int = 0) -> TraceChunk:
+    """Return a zero-length chunk (useful as a stream sentinel)."""
+    return TraceChunk(
+        pid=pid,
+        kinds=np.empty(0, dtype=KIND_DTYPE),
+        addrs=np.empty(0, dtype=ADDR_DTYPE),
+    )

@@ -1,0 +1,71 @@
+"""Stream utilities over chunk iterables.
+
+Small helpers for slicing, counting and materialising chunk streams.
+They exist so tests and tools never re-implement buffer arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.trace.record import TraceChunk
+
+
+def take(chunks: Iterable[TraceChunk], count: int) -> Iterator[TraceChunk]:
+    """Yield chunks totalling at most ``count`` references.
+
+    The final chunk is truncated if necessary; chunk pids and slice
+    flags are preserved.
+    """
+    remaining = count
+    for chunk in chunks:
+        if remaining <= 0:
+            return
+        if len(chunk) <= remaining:
+            remaining -= len(chunk)
+            yield chunk
+        else:
+            yield TraceChunk(
+                pid=chunk.pid,
+                kinds=chunk.kinds[:remaining],
+                addrs=chunk.addrs[:remaining],
+                new_slice=chunk.new_slice,
+            )
+            return
+
+
+def count_references(chunks: Iterable[TraceChunk]) -> int:
+    """Total references across a chunk stream (consumes it)."""
+    return sum(len(chunk) for chunk in chunks)
+
+
+def concat(chunks: Iterable[TraceChunk]) -> TraceChunk:
+    """Materialise a stream into one chunk (single-pid streams only)."""
+    chunks = list(chunks)
+    if not chunks:
+        from repro.trace.record import empty_chunk
+
+        return empty_chunk()
+    pids = {chunk.pid for chunk in chunks}
+    if len(pids) > 1:
+        from repro.core.errors import TraceFormatError
+
+        raise TraceFormatError(f"cannot concat chunks from pids {sorted(pids)}")
+    return TraceChunk(
+        pid=chunks[0].pid,
+        kinds=np.concatenate([c.kinds for c in chunks]),
+        addrs=np.concatenate([c.addrs for c in chunks]),
+        new_slice=chunks[0].new_slice,
+    )
+
+
+def kind_histogram(chunks: Iterable[TraceChunk]) -> dict[int, int]:
+    """Count references per kind across a stream (consumes it)."""
+    totals: dict[int, int] = {}
+    for chunk in chunks:
+        kinds, counts = np.unique(chunk.kinds, return_counts=True)
+        for kind, count in zip(kinds.tolist(), counts.tolist()):
+            totals[int(kind)] = totals.get(int(kind), 0) + int(count)
+    return totals

@@ -1,0 +1,276 @@
+"""Synthetic per-program reference generators.
+
+Each Table 2 program becomes a :class:`SyntheticProgram`: a restartable,
+deterministic stream of :class:`~repro.trace.record.TraceChunk` values
+whose instruction-fetch fraction matches Table 2 and whose data stream
+is the program's :class:`~repro.trace.benchmarks.PatternMix` over its
+working-set regions.
+
+Address-space layout per process (32-bit virtual):
+
+=============  =======================================
+region         base
+=============  =======================================
+code           0x0040_0000 (text segment)
+arrays         0x1000_0000
+hot set        0x2000_0000
+chase region   0x3000_0000
+stack          0x7000_0000
+=============  =======================================
+
+The layout leaves regions page-aligned at every page size the paper
+sweeps (128 B ... 4 KB), so region boundaries never share a page.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+from repro.trace import patterns
+from repro.trace.benchmarks import TABLE2_PROGRAMS, ProgramSpec
+from repro.trace.record import ADDR_DTYPE, IFETCH, KIND_DTYPE, READ, WRITE, TraceChunk
+
+CODE_BASE = 0x0040_0000
+ARRAY_BASE = 0x1000_0000
+HOT_BASE = 0x2000_0000
+CHASE_BASE = 0x3000_0000
+STACK_BASE = 0x7000_0000
+
+DEFAULT_CHUNK = 65_536
+
+#: Reference skew of the hot and stack regions (see
+#: :func:`repro.trace.patterns.hot_set`).  Hot structures concentrate
+#: three quarters of their traffic in a 16th of the region; stack
+#: traffic concentrates even harder (the active frames at the top).
+HOT_FOCUS = 0.80
+HOT_CORE_FRAC = 1 / 16
+STACK_FOCUS = 0.85
+STACK_CORE_FRAC = 1 / 16
+
+
+class SyntheticProgram:
+    """Deterministic reference stream for one catalogue program.
+
+    Parameters
+    ----------
+    spec:
+        The program's catalogue entry.
+    total_refs:
+        Length of the stream (already scaled by the caller).
+    pid:
+        Process id stamped on every chunk.
+    seed:
+        Stream seed; the same (spec, total_refs, seed) always yields the
+        same reference sequence.
+    chunk_refs:
+        Chunk granularity for :meth:`chunks`.
+    """
+
+    def __init__(
+        self,
+        spec: ProgramSpec,
+        total_refs: int,
+        pid: int = 0,
+        seed: int = 0,
+        chunk_refs: int = DEFAULT_CHUNK,
+    ) -> None:
+        if total_refs <= 0:
+            raise ConfigurationError(f"total_refs must be positive, got {total_refs}")
+        if chunk_refs <= 0:
+            raise ConfigurationError(f"chunk_refs must be positive, got {chunk_refs}")
+        self.spec = spec
+        self.total_refs = total_refs
+        self.pid = pid
+        self.seed = seed
+        self.chunk_refs = chunk_refs
+
+    #: Internal generation block.  Randomness is drawn per fixed block
+    #: (seeded by block index), so the reference stream is identical no
+    #: matter what ``chunk_refs`` a consumer asks for -- chunking only
+    #: re-slices it.
+    GEN_BLOCK = 8192
+
+    def chunks(self):
+        """Yield the whole stream as :class:`TraceChunk` values.
+
+        Restartable and chunking-invariant: each call re-derives the
+        same deterministic stream, and the stream's content does not
+        depend on ``chunk_refs`` (chunks are at most that size).
+        """
+        name_key = zlib.crc32(self.spec.name.encode("utf-8"))
+        seed_rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=self.seed, spawn_key=(name_key,))
+        )
+        remaining = self.total_refs
+        # Persistent cursors so sequential/strided streams continue
+        # across blocks instead of restarting.
+        seq_cursor = 0
+        stride_cursor = 0
+        chase_cursor = int(seed_rng.integers(0, 1 << 16))
+        block_idx = 0
+        out_limit = min(self.chunk_refs, self.GEN_BLOCK)
+        while remaining > 0:
+            take = min(remaining, self.GEN_BLOCK)
+            rng = np.random.default_rng(
+                np.random.SeedSequence(
+                    entropy=self.seed, spawn_key=(name_key, block_idx)
+                )
+            )
+            block, seq_cursor, stride_cursor, chase_cursor = self._make_chunk(
+                rng, take, seq_cursor, stride_cursor, chase_cursor
+            )
+            remaining -= take
+            block_idx += 1
+            for start in range(0, len(block), out_limit):
+                yield TraceChunk(
+                    pid=self.pid,
+                    kinds=block.kinds[start : start + out_limit],
+                    addrs=block.addrs[start : start + out_limit],
+                )
+
+    def _make_chunk(
+        self,
+        rng: np.random.Generator,
+        count: int,
+        seq_cursor: int,
+        stride_cursor: int,
+        chase_cursor: int,
+    ) -> tuple[TraceChunk, int, int, int]:
+        spec = self.spec
+        is_ifetch = rng.random(count) < spec.ifetch_fraction
+        n_ifetch = int(is_ifetch.sum())
+        n_data = count - n_ifetch
+
+        kinds = np.empty(count, dtype=KIND_DTYPE)
+        addrs = np.empty(count, dtype=ADDR_DTYPE)
+        kinds[is_ifetch] = IFETCH
+
+        if n_ifetch:
+            addrs[is_ifetch] = patterns.branchy_code(
+                rng,
+                n_ifetch,
+                spec.code_bytes,
+                mean_run=spec.mean_run,
+                base=CODE_BASE,
+            )
+        if n_data:
+            data_addrs, seq_cursor, stride_cursor, chase_cursor = self._data_addrs(
+                rng, n_data, seq_cursor, stride_cursor, chase_cursor
+            )
+            data_mask = ~is_ifetch
+            addrs[data_mask] = data_addrs
+            is_write = rng.random(n_data) < spec.write_fraction
+            data_kinds = np.where(is_write, WRITE, READ).astype(KIND_DTYPE)
+            kinds[data_mask] = data_kinds
+
+        chunk = TraceChunk(pid=self.pid, kinds=kinds, addrs=addrs)
+        return chunk, seq_cursor, stride_cursor, chase_cursor
+
+    def _data_addrs(
+        self,
+        rng: np.random.Generator,
+        count: int,
+        seq_cursor: int,
+        stride_cursor: int,
+        chase_cursor: int,
+    ) -> tuple[np.ndarray, int, int, int]:
+        spec = self.spec
+        weights = spec.mix.as_tuple()
+        probs = np.asarray(weights) / sum(weights)
+        choices = rng.choice(len(weights), size=count, p=probs)
+        out = np.empty(count, dtype=ADDR_DTYPE)
+
+        n_seq = int((choices == 0).sum())
+        if n_seq:
+            out[choices == 0] = patterns.sequential_stream(
+                n_seq, spec.array_bytes, start=seq_cursor, base=ARRAY_BASE
+            )
+            seq_cursor = (seq_cursor + n_seq * patterns.WORD_BYTES) % spec.array_bytes
+
+        n_stride = int((choices == 1).sum())
+        if n_stride:
+            out[choices == 1] = patterns.strided_stream(
+                n_stride,
+                spec.array_bytes,
+                spec.stride_bytes,
+                start=stride_cursor,
+                base=ARRAY_BASE,
+            )
+            stride_cursor = (
+                stride_cursor + n_stride * spec.stride_bytes
+            ) % spec.array_bytes
+
+        n_hot = int((choices == 2).sum())
+        if n_hot:
+            out[choices == 2] = patterns.hot_set(
+                rng,
+                n_hot,
+                spec.hot_bytes,
+                base=HOT_BASE,
+                focus=HOT_FOCUS,
+                core_frac=HOT_CORE_FRAC,
+            )
+
+        n_chase = int((choices == 3).sum())
+        if n_chase:
+            out[choices == 3] = patterns.pointer_chase(
+                rng,
+                n_chase,
+                spec.chase_bytes,
+                start_node=chase_cursor,
+                base=CHASE_BASE,
+            )
+            chase_cursor = (chase_cursor + n_chase) % max(2, spec.chase_bytes // 32)
+
+        n_stack = int((choices == 4).sum())
+        if n_stack:
+            out[choices == 4] = patterns.hot_set(
+                rng,
+                n_stack,
+                spec.stack_bytes,
+                base=STACK_BASE,
+                focus=STACK_FOCUS,
+                core_frac=STACK_CORE_FRAC,
+            )
+
+        return out, seq_cursor, stride_cursor, chase_cursor
+
+
+def build_program(
+    spec: ProgramSpec,
+    scale: float,
+    pid: int = 0,
+    seed: int = 0,
+    chunk_refs: int = DEFAULT_CHUNK,
+) -> SyntheticProgram:
+    """Build one program's stream at ``scale`` of its Table 2 length."""
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be positive, got {scale}")
+    return SyntheticProgram(
+        spec=spec,
+        total_refs=spec.references_at_scale(scale),
+        pid=pid,
+        seed=seed,
+        chunk_refs=chunk_refs,
+    )
+
+
+def build_workload(
+    scale: float,
+    seed: int = 0,
+    programs: tuple[ProgramSpec, ...] = TABLE2_PROGRAMS,
+    chunk_refs: int = DEFAULT_CHUNK,
+) -> list[SyntheticProgram]:
+    """Build the full Table 2 workload at ``scale``.
+
+    ``scale=1.0`` reproduces the paper's ~1.1 G references; the
+    experiments default to much smaller scales (see EXPERIMENTS.md).
+    Each program gets a distinct pid and a seed derived from ``seed``.
+    """
+    return [
+        build_program(spec, scale, pid=pid, seed=seed + pid, chunk_refs=chunk_refs)
+        for pid, spec in enumerate(programs)
+    ]

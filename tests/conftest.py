@@ -1,0 +1,16 @@
+"""Test-suite configuration.
+
+Hypothesis's default 200 ms deadline is flaky on loaded machines (the
+benchmark harness may be running concurrently); simulation-backed
+properties are deterministic in behaviour, just not in wall time, so
+the deadline is disabled globally.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,99 @@
+"""Tests for the shared machine machinery (repro.systems.base)."""
+
+import pytest
+
+from repro.core.params import (
+    KIB,
+    MIB,
+    CacheParams,
+    HandlerCosts,
+    MachineParams,
+)
+from repro.systems.base import SimulationResult
+from repro.systems.conventional import ConventionalSystem
+from repro.trace.record import IFETCH, READ, WRITE
+
+NO_HANDLERS = HandlerCosts(
+    tlb_instr=0, tlb_data=0, tlb_probe_instr=0, tlb_probe_data=0,
+    fault_instr=0, fault_data=0, switch_instr=0, switch_data=0,
+)
+
+
+def system(handlers=NO_HANDLERS):
+    return ConventionalSystem(
+        MachineParams(
+            kind="conventional",
+            issue_rate_hz=10**9,
+            l2=CacheParams(1 * MIB, 128, associativity=1),
+            handlers=handlers,
+        )
+    )
+
+
+class TestFlushL1Range:
+    def test_charges_probe_cycles(self):
+        sys_ = system()
+        before = sys_.clock.cycles
+        sys_._flush_l1_range(0, 128)  # 4 L1 blocks x 2 caches x 1 cycle
+        assert sys_.clock.cycles - before == 8
+
+    def test_detects_dirty_blocks_and_charges_writeback(self):
+        sys_ = system()
+        sys_.access(WRITE, 0)  # dirty L1 block at paddr 0 (frame 0)
+        before_wb = sys_.stats.l1_writebacks
+        dirty = sys_._flush_l1_range(0, 128)
+        assert dirty
+        assert sys_.stats.l1_writebacks == before_wb + 1
+        assert not sys_.l1d.lookup(0)
+
+    def test_counts_invalidations(self):
+        sys_ = system()
+        sys_.access(READ, 0)
+        sys_.access(IFETCH, 32)
+        sys_._flush_l1_range(0, 128)
+        assert sys_.stats.inclusion_invalidations == 2
+
+    def test_clean_range_reports_no_dirty(self):
+        sys_ = system()
+        sys_.access(READ, 0)
+        assert not sys_._flush_l1_range(0, 128)
+
+
+class TestContextSwitch:
+    def test_runs_switch_trace(self):
+        sys_ = system(handlers=HandlerCosts())
+        sys_.context_switch(pid=0)
+        assert sys_.stats.context_switches == 1
+        assert sys_.stats.switch_refs == 400
+        assert sys_.clock.now_ps > 0
+
+    def test_switch_trace_references_hit_caches(self):
+        sys_ = system(handlers=HandlerCosts())
+        sys_.context_switch(pid=0)
+        misses_after_first = sys_.stats.l1i_misses
+        sys_.context_switch(pid=0)
+        # The second switch re-runs warm handler code.
+        assert sys_.stats.l1i_misses == misses_after_first
+
+
+class TestGlobalVpn:
+    def test_distinct_processes_distinct_keys(self):
+        sys_ = system()
+        assert sys_.global_vpn(0x1000, 0) != sys_.global_vpn(0x1000, 1)
+
+    def test_same_page_same_key(self):
+        sys_ = system()
+        assert sys_.global_vpn(0x1000, 2) == sys_.global_vpn(0x1FFF, 2)
+
+
+class TestSimulationResult:
+    def test_seconds_and_summary(self):
+        sys_ = system()
+        sys_.access(IFETCH, 0)
+        result = sys_.finalize()
+        assert isinstance(result, SimulationResult)
+        assert result.seconds == result.time_ps / 1e12
+        summary = result.summary()
+        assert summary["kind"] == "conventional"
+        assert summary["workload_refs"] == 1
+        assert 0.999 <= sum(summary["level_fractions"].values()) <= 1.001

@@ -1,0 +1,80 @@
+"""Tests for the Table 2 catalogue."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.trace.benchmarks import (
+    TABLE2_PROGRAMS,
+    PatternMix,
+    ProgramSpec,
+    table2_catalog,
+    total_references_millions,
+)
+
+
+def test_eighteen_programs():
+    assert len(TABLE2_PROGRAMS) == 18
+
+
+def test_catalogue_totals_match_paper():
+    # Paper: "traces containing a total of 1.1-billion references".
+    assert total_references_millions() == pytest.approx(1093.1, abs=0.5)
+
+
+def test_known_entries_have_paper_counts():
+    catalog = table2_catalog()
+    assert catalog["alvinn"].ifetch_millions == 59.0
+    assert catalog["alvinn"].total_millions == 72.8
+    assert catalog["gcc"].total_millions == 100.0
+    assert catalog["compress"].ifetch_millions == 8.0
+    assert catalog["yacc"].total_millions == 12.1
+
+
+def test_names_unique():
+    names = [spec.name for spec in TABLE2_PROGRAMS]
+    assert len(set(names)) == len(names)
+
+
+def test_ifetch_fraction_in_range():
+    for spec in TABLE2_PROGRAMS:
+        assert 0.0 < spec.ifetch_fraction < 1.0
+
+
+def test_references_at_scale():
+    spec = table2_catalog()["sed"]  # 9.8 M total
+    assert spec.references_at_scale(0.001) == 9_800
+    assert spec.references_at_scale(1e-9) == 1  # never zero
+
+
+def test_spec_rejects_ifetch_above_total():
+    with pytest.raises(ConfigurationError):
+        ProgramSpec("bad", "x", ifetch_millions=5.0, total_millions=4.0)
+
+
+def test_spec_rejects_bad_write_fraction():
+    with pytest.raises(ConfigurationError):
+        ProgramSpec("bad", "x", 1.0, 2.0, write_fraction=1.5)
+
+
+def test_mix_rejects_all_zero():
+    with pytest.raises(ConfigurationError):
+        PatternMix()
+
+
+def test_mix_rejects_negative():
+    with pytest.raises(ConfigurationError):
+        PatternMix(sequential=-0.1, hot=1.0)
+
+
+def test_combined_working_set_overcommits_sram():
+    """The paper's experiments depend on the combined working set
+    exceeding the 4 MB SRAM level (section 4.2's warm-up discussion)."""
+    total = sum(
+        spec.code_bytes
+        + spec.array_bytes
+        + spec.hot_bytes
+        + spec.chase_bytes
+        + spec.stack_bytes
+        for spec in TABLE2_PROGRAMS
+    )
+    assert total > 4 * 1024 * 1024

@@ -1,0 +1,70 @@
+"""Tests for the bus timing derivation."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.params import BusParams, CacheParams, KIB, L1Params, MachineParams
+from repro.mem.bus import (
+    OVERHEAD_BEATS,
+    check_consistency,
+    derived_miss_penalty_cycles,
+    derived_rampage_writeback_cycles,
+    transfer_cycles,
+)
+from repro.systems.factory import build_system
+
+
+def test_paper_default_is_12_cycles():
+    # 32 B over a 16 B bus = 2 data beats + 2 overhead, x3 = 12 (§4.4).
+    assert derived_miss_penalty_cycles(BusParams(), L1Params()) == 12
+
+
+def test_paper_rampage_writeback_is_9_cycles():
+    # One less overhead beat: no L2 tag to update (§4.3).
+    assert derived_rampage_writeback_cycles(BusParams(), L1Params()) == 9
+
+
+def test_transfer_cycles_rounds_beats_up():
+    bus = BusParams()
+    assert transfer_cycles(bus, 1) == transfer_cycles(bus, 16)
+    assert transfer_cycles(bus, 17) == transfer_cycles(bus, 32)
+
+
+def test_transfer_rejects_bad_input():
+    with pytest.raises(ConfigurationError):
+        transfer_cycles(BusParams(), 0)
+    with pytest.raises(ConfigurationError):
+        transfer_cycles(BusParams(), 16, overhead_beats=-1)
+
+
+def test_consistency_accepts_defaults():
+    check_consistency(BusParams(), L1Params())
+
+
+def test_consistency_rejects_contradiction():
+    with pytest.raises(ConfigurationError):
+        check_consistency(BusParams(width_bits=256), L1Params())
+    with pytest.raises(ConfigurationError):
+        check_consistency(BusParams(), L1Params(miss_penalty_cycles=10))
+
+
+def test_systems_enforce_consistency():
+    params = MachineParams(
+        kind="conventional",
+        l1=L1Params(miss_penalty_cycles=20),
+    )
+    with pytest.raises(ConfigurationError):
+        build_system(params)
+
+
+def test_wider_l1_block_needs_matching_penalties():
+    """A 64-byte L1 block is legal once the penalties follow the bus."""
+    l1 = L1Params(
+        icache=CacheParams(16 * KIB, 64),
+        dcache=CacheParams(16 * KIB, 64),
+        miss_penalty_cycles=18,  # (4 data + 2 overhead) x 3
+        writeback_cycles=18,
+        rampage_writeback_cycles=15,  # (4 + 1) x 3
+    )
+    check_consistency(BusParams(), l1)
+    build_system(MachineParams(kind="conventional", l1=l1))

@@ -1,0 +1,147 @@
+"""Tests for the generic set-associative cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import SimulationError
+from repro.core.params import CacheParams
+from repro.core.rng import XorShiftRNG
+from repro.mem.cache import INVALID, SetAssociativeCache
+
+
+def make_cache(total=1024, block=32, ways=1, seed=1):
+    return SetAssociativeCache(
+        CacheParams(total, block, associativity=ways), XorShiftRNG(seed)
+    )
+
+
+class TestDirectMapped:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.lookup(5)
+        cache.fill(5)
+        assert cache.lookup(5)
+
+    def test_conflicting_blocks_evict(self):
+        cache = make_cache()  # 32 sets
+        a, b = 7, 7 + 32  # same set
+        cache.fill(a)
+        victim, dirty = cache.fill(b)
+        assert victim == a
+        assert not dirty
+        assert cache.lookup(b)
+        assert not cache.lookup(a)
+
+    def test_dirty_victim_reported(self):
+        cache = make_cache()
+        cache.fill(7, dirty=True)
+        victim, dirty = cache.fill(7 + 32)
+        assert victim == 7
+        assert dirty
+
+    def test_mark_dirty(self):
+        cache = make_cache()
+        cache.fill(3)
+        cache.mark_dirty(3)
+        victim, dirty = cache.fill(3 + 32)
+        assert dirty
+
+    def test_mark_dirty_missing_raises(self):
+        cache = make_cache()
+        with pytest.raises(SimulationError):
+            cache.mark_dirty(99)
+
+    def test_double_fill_raises(self):
+        cache = make_cache()
+        cache.fill(4)
+        with pytest.raises(SimulationError):
+            cache.fill(4)
+
+
+class TestSetAssociative:
+    def test_two_way_holds_two_conflicting_blocks(self):
+        cache = make_cache(ways=2)  # 16 sets
+        a, b = 3, 3 + 16
+        cache.fill(a)
+        victim, _ = cache.fill(b)
+        assert victim == INVALID
+        assert cache.lookup(a) and cache.lookup(b)
+
+    def test_third_conflicting_block_evicts_one(self):
+        cache = make_cache(ways=2)
+        a, b, c = 3, 3 + 16, 3 + 32
+        cache.fill(a)
+        cache.fill(b)
+        victim, _ = cache.fill(c)
+        assert victim in (a, b)
+        assert cache.lookup(c)
+
+    def test_fully_associative_uses_whole_capacity(self):
+        cache = make_cache(total=256, block=32, ways=0)  # 8 blocks
+        for block in range(8):
+            victim, _ = cache.fill(block * 17)
+            assert victim == INVALID
+        victim, _ = cache.fill(999)
+        assert victim != INVALID
+
+
+class TestInvalidate:
+    def test_invalidate_present(self):
+        cache = make_cache()
+        cache.fill(9, dirty=True)
+        present, was_dirty = cache.invalidate(9)
+        assert present and was_dirty
+        assert not cache.lookup(9)
+
+    def test_invalidate_absent(self):
+        cache = make_cache()
+        assert cache.invalidate(9) == (False, False)
+
+    def test_refill_after_invalidate_has_no_victim(self):
+        cache = make_cache()
+        cache.fill(9)
+        cache.invalidate(9)
+        victim, _ = cache.fill(9 + 32)
+        assert victim == INVALID
+
+
+class TestAccounting:
+    def test_fill_and_eviction_counters(self):
+        cache = make_cache()
+        cache.fill(1)
+        cache.fill(1 + 32)
+        assert cache.fills == 2
+        assert cache.evictions == 1
+
+    def test_occupancy(self):
+        cache = make_cache(total=128, block=32)  # 4 blocks
+        assert cache.occupancy() == 0.0
+        cache.fill(0)
+        cache.fill(1)
+        assert cache.occupancy() == 0.5
+
+    def test_resident_blocks(self):
+        cache = make_cache()
+        cache.fill(3)
+        cache.fill(40)
+        assert sorted(cache.resident_blocks()) == [3, 40]
+
+
+@settings(max_examples=50)
+@given(
+    blocks=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=200),
+    ways=st.sampled_from([1, 2, 4, 0]),
+)
+def test_property_lookup_after_fill_always_hits(blocks, ways):
+    """Whatever the fill sequence, the most recent block is resident and
+    set capacity is never exceeded."""
+    cache = make_cache(total=2048, block=32, ways=ways, seed=3)
+    for block in blocks:
+        if not cache.lookup(block):
+            cache.fill(block)
+        assert cache.lookup(block)
+    # capacity invariant: each set holds at most `ways` valid blocks
+    per_set: dict[int, int] = {}
+    for tag in cache.resident_blocks():
+        per_set[tag & cache.set_mask] = per_set.get(tag & cache.set_mask, 0) + 1
+    assert all(count <= cache.ways for count in per_set.values())

@@ -1,0 +1,107 @@
+"""Tests for workload characterization."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.characterize import (
+    WorkloadProfile,
+    characterize,
+    reuse_distance_histogram,
+)
+from repro.core.errors import ConfigurationError
+from repro.trace.benchmarks import table2_catalog
+from repro.trace.record import IFETCH, READ, Reference, TraceChunk
+from repro.trace.synthetic import SyntheticProgram
+
+
+def chunk_from(addrs, pid=0, kind=READ):
+    refs = [Reference(kind, a, pid=pid) for a in addrs]
+    return TraceChunk.from_references(refs, pid=pid)
+
+
+class TestCharacterize:
+    def test_footprint_counts_granules(self):
+        chunk = chunk_from([0, 4, 8, 31, 32, 64])
+        profile = characterize([chunk], granule_bytes=32)
+        # Granules: 0, 1, 2 -> 96 bytes.
+        assert profile.footprint_bytes == 96
+
+    def test_pid_separates_footprint(self):
+        a = chunk_from([0], pid=0)
+        b = chunk_from([0], pid=1)
+        profile = characterize([a, b], granule_bytes=32)
+        assert profile.footprint_bytes == 64
+
+    def test_ifetch_fraction(self):
+        code = chunk_from([0, 4], kind=IFETCH)
+        data = chunk_from([100, 104], kind=READ)
+        profile = characterize([code, data])
+        assert profile.ifetch_fraction == pytest.approx(0.5)
+
+    def test_distinct_pages_per_size(self):
+        chunk = chunk_from([0, 100, 200, 5000])
+        profile = characterize([chunk], page_sizes=(128, 4096))
+        assert profile.distinct_pages[128] == 3  # pages 0, 1, 39
+        assert profile.distinct_pages[4096] == 2  # pages 0, 1
+
+    def test_page_change_rate_sequential_vs_random(self):
+        sequential = chunk_from(list(range(0, 8192, 4)))
+        rng = np.random.default_rng(0)
+        random_addrs = (rng.integers(0, 1 << 22, 2048) * 128).tolist()
+        scattered = chunk_from(random_addrs)
+        seq = characterize([sequential], page_sizes=(4096,)).page_change_rate[4096]
+        rnd = characterize([scattered], page_sizes=(4096,)).page_change_rate[4096]
+        assert seq < 0.01
+        assert rnd > 0.5
+
+    def test_working_set_curve_is_monotone(self):
+        spec = table2_catalog()["gcc"]
+        program = SyntheticProgram(spec, total_refs=20_000, seed=3)
+        profile = characterize(program.chunks())
+        footprints = [fp for _, fp in profile.working_set_curve]
+        assert footprints == sorted(footprints)
+        assert footprints[-1] <= profile.footprint_bytes
+
+    def test_empty_stream(self):
+        profile = characterize([])
+        assert profile.refs == 0
+        assert profile.footprint_bytes == 0
+
+    def test_rejects_bad_granule(self):
+        with pytest.raises(ConfigurationError):
+            characterize([], granule_bytes=3)
+
+
+class TestReuseHistogram:
+    def test_cold_and_immediate_reuse(self):
+        chunk = chunk_from([0, 0, 0])
+        hist = reuse_distance_histogram([chunk])
+        assert hist["cold"] == 1
+        assert hist["<=1"] == 2
+
+    def test_distance_counts_distinct_granules(self):
+        # 0, then 7 other granules, then 0 again: distance 7 -> "<=8".
+        addrs = [0] + [32 * i for i in range(1, 8)] + [0]
+        hist = reuse_distance_histogram([chunk_from(addrs)])
+        assert hist["cold"] == 8
+        assert hist["<=8"] == 1
+
+    def test_streaming_is_all_cold(self):
+        addrs = list(range(0, 32 * 500, 32))
+        hist = reuse_distance_histogram([chunk_from(addrs)])
+        assert hist["cold"] == 500
+        assert sum(v for k, v in hist.items() if k != "cold") == 0
+
+    def test_rejects_unsorted_edges(self):
+        with pytest.raises(ConfigurationError):
+            reuse_distance_histogram([], bucket_edges=(8, 4))
+
+    def test_catalogue_program_has_strong_reuse(self):
+        """The calibration claim: int programs re-touch their stack/hot
+        regions at short distances."""
+        spec = table2_catalog()["yacc"]
+        program = SyntheticProgram(spec, total_refs=15_000, seed=1)
+        hist = reuse_distance_histogram(program.chunks())
+        total = sum(hist.values())
+        short = hist["<=1"] + hist["<=8"] + hist["<=64"] + hist["<=512"]
+        assert short / total > 0.4

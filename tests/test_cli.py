@@ -1,0 +1,78 @@
+"""Tests for the rampage-sim command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+def test_list_prints_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_run_table1(capsys):
+    assert main(["run", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "rambus" in out.lower()
+
+
+def test_run_unknown_experiment_fails(capsys):
+    assert main(["run", "tableX"]) == 2
+    assert "unknown experiments" in capsys.readouterr().err
+
+
+def test_run_writes_output_files(tmp_path, capsys):
+    assert main(["run", "table1", "--out", str(tmp_path)]) == 0
+    assert (tmp_path / "table1.txt").exists()
+
+
+def test_sweep_runs_small_simulation(capsys):
+    code = main(
+        [
+            "sweep",
+            "--kind",
+            "rampage",
+            "--issue-rate",
+            "1000000000",
+            "--size",
+            "1024",
+            "--scale",
+            "0.0001",
+            "--slice-refs",
+            "2000",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "simulated time" in out
+    assert "page faults" in out
+
+
+def test_sweep_switch_on_miss_requires_rampage(capsys):
+    code = main(
+        ["sweep", "--kind", "baseline", "--switch-on-miss", "--scale", "0.0001"]
+    )
+    assert code == 2
+
+
+def test_figures_writes_svgs(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", "")
+    monkeypatch.setenv("REPRO_RATES", "200000000,4000000000")
+    monkeypatch.setenv("REPRO_SIZES", "128,4096")
+    code = main(
+        [
+            "figures",
+            "--out",
+            str(tmp_path),
+            "--scale",
+            "0.0001",
+            "--slice-refs",
+            "2000",
+        ]
+    )
+    assert code == 0
+    assert (tmp_path / "figure4.svg").exists()
+    assert len(list(tmp_path.glob("figure*.svg"))) == 7

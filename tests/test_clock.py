@@ -1,0 +1,74 @@
+"""Tests for the integer-picosecond clock."""
+
+import pytest
+
+from repro.core.clock import (
+    PS_PER_SECOND,
+    SimClock,
+    cycle_time_ps,
+    ps_to_seconds,
+    seconds_to_ps,
+)
+from repro.core.errors import ConfigurationError
+
+
+@pytest.mark.parametrize(
+    "rate,expected_ps",
+    [
+        (200_000_000, 5000),
+        (500_000_000, 2000),
+        (1_000_000_000, 1000),
+        (2_000_000_000, 500),
+        (4_000_000_000, 250),
+    ],
+)
+def test_paper_issue_rates_are_integral(rate, expected_ps):
+    assert cycle_time_ps(rate) == expected_ps
+
+
+def test_non_integral_rate_rejected():
+    with pytest.raises(ConfigurationError):
+        cycle_time_ps(3_000_000_007)
+
+
+def test_nonpositive_rate_rejected():
+    with pytest.raises(ConfigurationError):
+        cycle_time_ps(0)
+    with pytest.raises(ConfigurationError):
+        cycle_time_ps(-5)
+
+
+def test_tick_cycles_accumulates():
+    clock = SimClock(1_000_000_000)
+    assert clock.tick_cycles(10) == 10_000
+    assert clock.cycles == 10
+    assert clock.now_ps == 10_000
+
+
+def test_tick_ps_mixes_with_cycles():
+    clock = SimClock(200_000_000)  # 5000 ps cycles
+    clock.tick_cycles(2)
+    clock.tick_ps(1234)
+    assert clock.now_ps == 2 * 5000 + 1234
+
+
+def test_advance_to_future_stalls():
+    clock = SimClock(1_000_000_000)
+    clock.tick_cycles(1)  # now 1000 ps
+    stalled = clock.advance_to(5000)
+    assert stalled == 4000
+    assert clock.now_ps == 5000
+
+
+def test_advance_to_past_is_noop():
+    clock = SimClock(1_000_000_000)
+    clock.tick_cycles(10)
+    before = clock.now_ps
+    assert clock.advance_to(before - 500) == 0
+    assert clock.now_ps == before
+
+
+def test_seconds_round_trip():
+    assert ps_to_seconds(PS_PER_SECOND) == 1.0
+    assert seconds_to_ps(2.5) == 2_500_000_000_000
+    assert ps_to_seconds(seconds_to_ps(0.125)) == 0.125

@@ -1,0 +1,62 @@
+"""Tests for experiment configuration and env overrides."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.experiments.config import DEFAULT_SIZES, ExperimentConfig
+
+
+def test_defaults_are_sane():
+    config = ExperimentConfig()
+    assert config.sizes == DEFAULT_SIZES
+    assert config.slow_rate == 200_000_000
+    assert config.fast_rate == 4_000_000_000
+
+
+def test_quick_shrinks_everything():
+    quick = ExperimentConfig().quick()
+    assert quick.scale <= 0.0002
+    assert quick.cache_dir is None
+    assert len(quick.issue_rates) == 2
+
+
+def test_from_env_overrides():
+    env = {
+        "REPRO_SCALE": "0.01",
+        "REPRO_SLICE_REFS": "1234",
+        "REPRO_RATES": "200000000,1e9",
+        "REPRO_SIZES": "128,4096",
+        "REPRO_SEED": "42",
+        "REPRO_CACHE_DIR": "/tmp/somewhere",
+    }
+    config = ExperimentConfig.from_env(env)
+    assert config.scale == 0.01
+    assert config.slice_refs == 1234
+    assert config.issue_rates == (200_000_000, 1_000_000_000)
+    assert config.sizes == (128, 4096)
+    assert config.seed == 42
+    assert config.cache_dir == Path("/tmp/somewhere")
+
+
+def test_from_env_empty_cache_dir_disables():
+    config = ExperimentConfig.from_env({"REPRO_CACHE_DIR": ""})
+    assert config.cache_dir is None
+
+
+def test_from_env_ignores_unrelated(monkeypatch):
+    config = ExperimentConfig.from_env({})
+    assert config == ExperimentConfig()
+
+
+def test_rejects_bad_scale():
+    with pytest.raises(ConfigurationError):
+        ExperimentConfig(scale=0)
+
+
+def test_rejects_empty_axes():
+    with pytest.raises(ConfigurationError):
+        ExperimentConfig(issue_rates=())
+    with pytest.raises(ConfigurationError):
+        ExperimentConfig(sizes=())

@@ -1,0 +1,196 @@
+"""Behavioural tests for the conventional cache machine.
+
+Several tests zero the handler costs so cycle arithmetic is exact and
+every picosecond can be checked against the paper's timing rules.
+"""
+
+import pytest
+
+from repro.core.params import (
+    KIB,
+    MIB,
+    CacheParams,
+    HandlerCosts,
+    MachineParams,
+)
+from repro.core.errors import SimulationError
+from repro.systems.conventional import ConventionalSystem
+from repro.trace.record import IFETCH, READ, WRITE
+
+NO_HANDLERS = HandlerCosts(
+    tlb_instr=0,
+    tlb_data=0,
+    tlb_probe_instr=0,
+    tlb_probe_data=0,
+    fault_instr=0,
+    fault_data=0,
+    switch_instr=0,
+    switch_data=0,
+)
+
+
+def machine(block=128, assoc=1, rate=1_000_000_000, handlers=NO_HANDLERS, **kw):
+    return ConventionalSystem(
+        MachineParams(
+            kind="conventional",
+            issue_rate_hz=rate,
+            l2=CacheParams(4 * MIB, block, associativity=assoc),
+            handlers=handlers,
+            **kw,
+        )
+    )
+
+
+class TestExactTiming:
+    def test_cold_ifetch_cost(self):
+        """First ifetch: DRAM block fetch + 12-cycle L1 fill + 1 cycle."""
+        system = machine(block=128)
+        system.access(IFETCH, 0x1000)
+        dram_ps = 50_000 + 64 * 1250  # 128 bytes over Direct Rambus
+        expected = dram_ps + 12 * 1000 + 1 * 1000
+        assert system.clock.now_ps == expected
+        assert system.stats.level_times.dram == dram_ps
+        assert system.stats.level_times.l2 == 12_000
+        assert system.stats.level_times.l1i == 1_000
+
+    def test_warm_ifetch_costs_one_cycle(self):
+        system = machine()
+        system.access(IFETCH, 0x1000)
+        before = system.clock.now_ps
+        system.access(IFETCH, 0x1004)  # same 32-byte L1 block
+        assert system.clock.now_ps == before + 1000
+
+    def test_data_hit_is_free(self):
+        """TLB and L1 data hits are fully pipelined (section 4.3)."""
+        system = machine()
+        system.access(READ, 0x2000)
+        before = system.clock.now_ps
+        system.access(READ, 0x2004)
+        system.access(WRITE, 0x2008)
+        assert system.clock.now_ps == before
+
+    def test_l2_hit_costs_12_cycles(self):
+        """A second L1 block within a warm L2 block: no DRAM."""
+        system = machine(block=128)
+        system.access(READ, 0x2000)
+        before = system.clock.now_ps
+        dram_before = system.stats.dram_accesses
+        system.access(READ, 0x2000 + 32)  # same 128-byte L2 block
+        assert system.stats.dram_accesses == dram_before
+        assert system.clock.now_ps == before + 12_000
+
+    def test_4ghz_scales_sram_but_not_dram(self):
+        slow = machine(rate=200_000_000)
+        fast = machine(rate=4_000_000_000)
+        for system in (slow, fast):
+            system.access(READ, 0x2000)
+        dram_ps = 50_000 + 64 * 1250
+        assert slow.clock.now_ps == dram_ps + 12 * 5000
+        assert fast.clock.now_ps == dram_ps + 12 * 250
+
+
+class TestCacheBehaviour:
+    def test_counts_by_kind(self):
+        system = machine()
+        system.access(IFETCH, 0)
+        system.access(READ, 64)
+        system.access(WRITE, 128)
+        stats = system.stats
+        assert (stats.ifetches, stats.reads, stats.writes) == (1, 1, 1)
+
+    def test_l1_conflict_eviction_and_writeback(self):
+        system = machine()
+        # Two addresses mapping to the same L1 set (16 KB apart), in the
+        # same 4 KB DRAM page? No -- different pages is fine, what
+        # matters is the physical conflict after translation.
+        system.access(WRITE, 0x0000)  # dirty block
+        first_paddr_conflicts = 16 * KIB  # L1 is 16 KB direct-mapped
+        system.access(READ, first_paddr_conflicts)
+        # Sequential frame allocation maps these to different frames; we
+        # instead check the accounting invariantly: every writeback must
+        # have marked an L2 block dirty without raising.
+        assert system.stats.l1d_misses == 2
+
+    def test_l2_miss_fetches_from_dram(self):
+        system = machine(block=128)
+        system.access(READ, 0)
+        assert system.stats.l2_misses == 1
+        assert system.stats.dram_accesses == 1
+
+    def test_inclusion_flush_on_l2_eviction(self):
+        """Evicting an L2 block invalidates its L1 blocks."""
+        system = machine(block=4096)
+        # Two virtual pages 4 MB apart in the same process collide in a
+        # 4 MB direct-mapped L2 only if their *physical* frames collide;
+        # force it by accessing enough distinct pages to wrap the cache.
+        blocks_in_l2 = 4 * MIB // 4096
+        for i in range(blocks_in_l2 + 1):
+            system.access(READ, i * 4096)
+        assert system.stats.l2_misses == blocks_in_l2 + 1
+        # The first physical block was evicted; re-access misses again.
+        misses_before = system.stats.l2_misses
+        system.access(READ, 0)
+        assert system.stats.l2_misses == misses_before + 1
+
+    def test_dirty_l2_writeback_to_dram(self):
+        system = machine(block=4096)
+        blocks_in_l2 = 4 * MIB // 4096
+        system.access(WRITE, 0)  # dirty L1 and (eventually) L2 block
+        for i in range(1, blocks_in_l2 + 1):
+            system.access(READ, i * 4096)
+        # Evicting the dirty block wrote it back: fetches + 1 writeback.
+        assert system.stats.l2_writebacks >= 1
+
+    def test_two_way_l2_reduces_conflicts(self):
+        direct = machine(block=128, assoc=1, seed=1)
+        twoway = machine(block=128, assoc=2, seed=1)
+        for system in (direct, twoway):
+            for rep in range(4):
+                for i in range(64):
+                    system.access(READ, i * 64 * KIB)
+        assert twoway.stats.l2_misses <= direct.stats.l2_misses
+
+
+class TestTranslation:
+    def test_tlb_miss_runs_handler(self):
+        system = machine(handlers=HandlerCosts())
+        system.access(READ, 0)
+        assert system.tlb.misses == 1
+        assert system.stats.tlb_handler_refs == 14  # 12 instr + 2 data
+
+    def test_tlb_hit_on_same_page(self):
+        system = machine()
+        system.access(READ, 0)
+        system.access(READ, 100)
+        assert system.tlb.misses == 1
+        assert system.tlb.hits == 1
+
+    def test_finalize_copies_tlb_counters(self):
+        system = machine()
+        system.access(READ, 0)
+        system.access(READ, 4)
+        result = system.finalize()
+        assert result.stats.tlb_misses == 1
+        assert result.stats.tlb_hits == 1
+
+    def test_distinct_processes_get_distinct_frames(self):
+        system = machine()
+        system.access(READ, 0, pid=0)
+        system.access(READ, 0, pid=1)
+        assert system.tlb.misses == 2
+        assert len(system.page_table) == 2
+
+    def test_frame_allocation_guard(self):
+        system = machine()
+        system._next_frame = system._os_base_frame
+        with pytest.raises(SimulationError):
+            system.access(READ, 0)
+
+    def test_handler_refs_are_cached(self):
+        """OS handler code is cacheable: repeated TLB misses hit L1."""
+        system = machine(handlers=HandlerCosts())
+        for page in range(8):
+            system.access(READ, page * 4096)
+        # The handler executes 14 refs per miss; after the first miss
+        # its code is in L1, so L1i misses stay far below total refs.
+        assert system.stats.l1i_misses < 8 * 14

@@ -1,0 +1,73 @@
+"""Determinism and chunking-invariance properties of whole simulations.
+
+A simulation must be a pure function of (machine params, workload spec):
+
+* identical runs give identical picosecond totals and statistics;
+* the chunk granularity the trace happens to be delivered in must not
+  change anything (the interleaver and the systems' fast loops both cut
+  chunks at arbitrary points);
+* the scheduling quantum *does* matter (it changes the interleaving),
+  but the total workload consumed never does.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.systems.factory import baseline_machine, rampage_machine
+from repro.systems.simulator import simulate
+from repro.trace.benchmarks import TABLE2_PROGRAMS
+from repro.trace.synthetic import SyntheticProgram
+
+
+def programs(chunk_refs, n=4, refs=3000, seed=0):
+    return [
+        SyntheticProgram(
+            TABLE2_PROGRAMS[i], total_refs=refs, pid=i, seed=seed + i,
+            chunk_refs=chunk_refs,
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.mark.parametrize(
+    "make_machine",
+    [
+        lambda: baseline_machine(10**9, 512),
+        lambda: rampage_machine(10**9, 512),
+        lambda: rampage_machine(10**9, 256, switch_on_miss=True),
+    ],
+    ids=["baseline", "rampage", "rampage-som"],
+)
+def test_chunk_granularity_is_invisible(make_machine):
+    results = {}
+    for chunk_refs in (64, 1024, 65_536):
+        result = simulate(
+            make_machine(), programs(chunk_refs), slice_refs=700
+        )
+        results[chunk_refs] = result
+    times = {result.time_ps for result in results.values()}
+    assert len(times) == 1, f"chunking changed simulated time: {times}"
+    dicts = [result.stats.as_dict() for result in results.values()]
+    assert dicts[0] == dicts[1] == dicts[2]
+
+
+def test_identical_runs_are_identical():
+    a = simulate(rampage_machine(10**9, 256), programs(512), slice_refs=700)
+    b = simulate(rampage_machine(10**9, 256), programs(512), slice_refs=700)
+    assert a.time_ps == b.time_ps
+    assert a.stats.as_dict() == b.stats.as_dict()
+
+
+def test_different_seeds_change_results():
+    a = simulate(rampage_machine(10**9, 256), programs(512, seed=1), slice_refs=700)
+    b = simulate(rampage_machine(10**9, 256), programs(512, seed=2), slice_refs=700)
+    assert a.time_ps != b.time_ps
+
+
+@settings(max_examples=8, deadline=None)
+@given(slice_refs=st.sampled_from([300, 700, 1500, 6000]))
+def test_quantum_changes_time_but_not_consumption(slice_refs):
+    result = simulate(
+        baseline_machine(10**9, 512), programs(1024), slice_refs=slice_refs
+    )
+    assert result.stats.workload_refs == 4 * 3000

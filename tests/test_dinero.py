@@ -1,0 +1,91 @@
+"""Tests for the .din trace format."""
+
+import pytest
+
+from repro.core.errors import TraceFormatError
+from repro.trace import dinero
+from repro.trace.record import IFETCH, READ, WRITE, Reference, TraceChunk
+
+
+def refs_sample():
+    return [
+        Reference(READ, 0x1000, pid=0),
+        Reference(WRITE, 0x1004, pid=0),
+        Reference(IFETCH, 0x400000, pid=0),
+        Reference(READ, 0x2000, pid=1),
+        Reference(IFETCH, 0x400004, pid=1),
+    ]
+
+
+def test_dumps_format():
+    text = dinero.dumps(refs_sample()[:2])
+    assert text == "#pid 0\n0 1000\n1 1004\n"
+
+
+def test_round_trip_through_text():
+    text = dinero.dumps(refs_sample())
+    chunks = dinero.loads(text)
+    out = [ref for chunk in chunks for ref in chunk.references()]
+    assert out == refs_sample()
+
+
+def test_round_trip_through_file(tmp_path):
+    path = tmp_path / "trace.din"
+    chunks = [
+        TraceChunk.from_references(refs_sample()[:3]),
+        TraceChunk.from_references(refs_sample()[3:]),
+    ]
+    written = dinero.write_din(path, chunks)
+    assert written == 5
+    out = [r for chunk in dinero.read_din(path) for r in chunk.references()]
+    assert out == refs_sample()
+
+
+def test_chunking_splits_long_streams():
+    text = "\n".join(f"0 {addr:x}" for addr in range(100))
+    chunks = dinero.loads(text, chunk_refs=32)
+    assert [len(c) for c in chunks] == [32, 32, 32, 4]
+
+
+def test_comments_and_blanks_ignored():
+    text = "# a comment\n\n0 10\n# another\n1 14\n"
+    chunks = dinero.loads(text)
+    assert sum(len(c) for c in chunks) == 2
+
+
+def test_pid_directive_switches_chunks():
+    text = "#pid 1\n0 10\n#pid 2\n0 20\n"
+    chunks = dinero.loads(text)
+    assert [c.pid for c in chunks] == [1, 2]
+
+
+def test_malformed_record_raises():
+    with pytest.raises(TraceFormatError):
+        dinero.loads("0 10 20\n")
+
+
+def test_unknown_kind_raises():
+    with pytest.raises(TraceFormatError):
+        dinero.loads("9 10\n")
+
+
+def test_bad_hex_raises():
+    with pytest.raises(TraceFormatError):
+        dinero.loads("0 zzz\n")
+
+
+def test_gzip_round_trip(tmp_path):
+    path = tmp_path / "trace.din.gz"
+    chunks = [TraceChunk.from_references(refs_sample()[:3])]
+    assert dinero.write_din(path, chunks) == 3
+    # Actually gzipped (magic bytes), and reads back identically.
+    assert path.read_bytes()[:2] == b"\x1f\x8b"
+    out = [r for chunk in dinero.read_din(path) for r in chunk.references()]
+    assert out == refs_sample()[:3]
+
+
+def test_bad_pid_directive_raises():
+    with pytest.raises(TraceFormatError):
+        dinero.loads("#pid abc\n0 10\n")
+    with pytest.raises(TraceFormatError):
+        dinero.loads("#pid\n0 10\n")

@@ -1,0 +1,105 @@
+"""Tests for the DRAM / storage timing models."""
+
+import pytest
+
+from repro.core.params import DiskParams, RambusParams
+from repro.mem.dram import (
+    RambusChannel,
+    SdramTiming,
+    disk_transfer_s,
+    rambus_pipelined_ps,
+    rambus_transfer_ps,
+    sdram_transfer_ps,
+)
+
+
+class TestRambusTiming:
+    def test_paper_4k_transfer(self):
+        # 50 ns + 2048 beats * 1.25 ns = 2610 ns: the paper's "about
+        # 2,600 instructions" at a 1 GHz issue rate.
+        assert rambus_transfer_ps(RambusParams(), 4096) == 2_610_000
+
+    def test_two_byte_transfer(self):
+        assert rambus_transfer_ps(RambusParams(), 2) == 51_250
+
+    def test_odd_sizes_round_up_to_beats(self):
+        params = RambusParams()
+        assert rambus_transfer_ps(params, 1) == rambus_transfer_ps(params, 2)
+        assert rambus_transfer_ps(params, 3) == rambus_transfer_ps(params, 4)
+
+    def test_zero_bytes_costs_nothing(self):
+        assert rambus_transfer_ps(RambusParams(), 0) == 0
+
+    def test_pipelined_hides_access_latency_for_small_units(self):
+        # "95% of peak bandwidth ... on units as small as 2 bytes".
+        params = RambusParams(pipelined=True)
+        piped = rambus_pipelined_ps(params, 2)
+        assert piped == round(1250 / 0.95)
+        assert piped < rambus_transfer_ps(params, 2)
+
+    def test_pipelined_never_slower_than_plain(self):
+        params = RambusParams(pipelined=True)
+        for nbytes in (2, 128, 4096, 65536):
+            assert rambus_pipelined_ps(params, nbytes) <= rambus_transfer_ps(
+                params, nbytes
+            )
+
+
+class TestSdramAndDisk:
+    def test_sdram_paper_example(self):
+        # 50 ns initial + 10 ns per 16-byte beat.
+        timing = SdramTiming()
+        assert sdram_transfer_ps(timing, 16) == 60_000
+        assert sdram_transfer_ps(timing, 128) == 50_000 + 8 * 10_000
+
+    def test_disk_4k_costs_10ms_ish(self):
+        # Paper: "a 4Kbyte disk transfer costs about 10-million
+        # instructions" at 1 GHz, i.e. about 10.1 ms.
+        cost = disk_transfer_s(DiskParams(), 4096)
+        assert cost == pytest.approx(10.1024e-3, rel=1e-3)
+
+
+class TestRambusChannel:
+    def test_synchronous_on_idle_channel(self):
+        channel = RambusChannel(RambusParams())
+        wait, cost = channel.synchronous(0, 128)
+        assert wait == 0
+        assert cost == rambus_transfer_ps(RambusParams(), 128)
+        assert channel.free_at_ps == cost
+
+    def test_synchronous_queues_behind_background(self):
+        channel = RambusChannel(RambusParams())
+        ready = channel.begin_background(0, 4096)
+        wait, cost = channel.synchronous(1000, 128)
+        assert wait == ready - 1000
+        assert channel.free_at_ps == ready + cost
+
+    def test_background_chains(self):
+        channel = RambusChannel(RambusParams())
+        first = channel.begin_background(0, 1024)
+        second = channel.begin_background(0, 1024)
+        assert second > first
+
+    def test_pipelined_background_chain_is_faster(self):
+        # Small queued transfers are where pipelining pays: the access
+        # latency dominates them on a plain channel.
+        plain = RambusChannel(RambusParams())
+        piped = RambusChannel(RambusParams(pipelined=True))
+        for channel in (plain, piped):
+            channel.begin_background(0, 128)
+            channel.begin_background(0, 128)
+        assert piped.free_at_ps < plain.free_at_ps
+
+    def test_accounting(self):
+        channel = RambusChannel(RambusParams())
+        channel.synchronous(0, 128)
+        channel.begin_background(0, 128)
+        assert channel.transfers == 2
+        assert channel.bytes_moved == 256
+        assert channel.busy_ps > 0
+
+    def test_utilisation(self):
+        channel = RambusChannel(RambusParams())
+        _, cost = channel.synchronous(0, 4096)
+        assert channel.utilisation(2 * cost) == pytest.approx(0.5)
+        assert channel.utilisation(0) == 0.0

@@ -1,0 +1,61 @@
+"""Tests for Table 1 analytics."""
+
+import pytest
+
+from repro.analysis.efficiency import (
+    disk_efficiency,
+    rambus_efficiency,
+    table1_rows,
+    transfer_cost_instructions,
+)
+from repro.core.errors import ConfigurationError
+
+
+class TestRambusEfficiency:
+    def test_two_bytes(self):
+        # One 1.25 ns beat against 50 ns of latency: 1250/51250.
+        assert rambus_efficiency(2) == pytest.approx(1250 / 51250)
+
+    def test_4k(self):
+        assert rambus_efficiency(4096) == pytest.approx(2_560_000 / 2_610_000)
+
+    def test_monotone_in_size(self):
+        values = [rambus_efficiency(1 << k) for k in range(1, 21)]
+        assert values == sorted(values)
+
+    def test_approaches_one(self):
+        assert rambus_efficiency(64 * 1024 * 1024) > 0.999
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            rambus_efficiency(0)
+
+
+class TestDiskEfficiency:
+    def test_4k(self):
+        # 4096/40e6 s of data against 10 ms of latency: ~1%.
+        assert disk_efficiency(4096) == pytest.approx(0.010136, rel=1e-3)
+
+    def test_rambus_beats_disk_at_every_size(self):
+        for row in table1_rows():
+            assert row["rambus_pct"] > row["disk_pct"]
+
+
+class TestWorkedExample:
+    def test_paper_section_3_5_numbers(self):
+        """1 GHz, 4 KB: ~10 M instructions for disk, ~2,600 for Rambus."""
+        disk = transfer_cost_instructions(4096, 10**9, device="disk")
+        rambus = transfer_cost_instructions(4096, 10**9, device="rambus")
+        assert disk == pytest.approx(10.1e6, rel=0.01)
+        assert rambus == pytest.approx(2610, rel=0.01)
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(ConfigurationError):
+            transfer_cost_instructions(4096, 10**9, device="tape")
+
+
+def test_table1_rows_structure():
+    rows = table1_rows(sizes=(2, 4096))
+    assert [row["bytes"] for row in rows] == [2, 4096]
+    assert all(0 < row["rambus_pct"] <= 100 for row in rows)
+    assert all(0 < row["disk_pct"] <= 100 for row in rows)

@@ -1,0 +1,85 @@
+"""Tests for machine presets."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.params import KIB, MIB, MachineParams
+from repro.systems.conventional import ConventionalSystem
+from repro.systems.factory import (
+    ISSUE_RATES_HZ,
+    TRANSFER_SIZES,
+    aggressive_l1,
+    baseline_machine,
+    build_system,
+    large_tlb,
+    rampage_machine,
+    twoway_machine,
+    with_future_work_upgrades,
+)
+from repro.systems.rampage import RampageSystem
+
+
+def test_issue_rates_span_paper_range():
+    assert min(ISSUE_RATES_HZ) == 200_000_000
+    assert max(ISSUE_RATES_HZ) == 4_000_000_000
+
+
+def test_transfer_sizes_match_paper():
+    assert TRANSFER_SIZES == (128, 256, 512, 1024, 2048, 4096)
+
+
+def test_baseline_is_direct_mapped_4mb():
+    params = baseline_machine(block_bytes=256)
+    assert params.l2.total_bytes == 4 * MIB
+    assert params.l2.is_direct_mapped
+    assert not params.scheduled_switches
+
+
+def test_twoway_has_switch_traces_by_default():
+    params = twoway_machine()
+    assert params.l2.ways == 2
+    assert params.scheduled_switches
+
+
+def test_rampage_machine_defaults():
+    params = rampage_machine(page_bytes=512)
+    assert params.rampage.page_bytes == 512
+    assert not params.switch_on_miss
+    assert not params.scheduled_switches
+
+
+def test_rampage_switch_on_miss_implies_scheduled():
+    params = rampage_machine(switch_on_miss=True)
+    assert params.scheduled_switches
+
+
+def test_rampage_explicit_scheduled_override():
+    params = rampage_machine(switch_on_miss=False, scheduled_switches=True)
+    assert params.scheduled_switches and not params.switch_on_miss
+
+
+def test_build_system_dispatch():
+    assert isinstance(build_system(baseline_machine()), ConventionalSystem)
+    assert isinstance(build_system(rampage_machine()), RampageSystem)
+
+
+def test_build_system_rejects_unknown():
+    params = baseline_machine()
+    object.__setattr__(params, "kind", "bogus")
+    with pytest.raises(ConfigurationError):
+        build_system(params)
+
+
+def test_future_work_upgrades():
+    params = with_future_work_upgrades(rampage_machine())
+    assert params.l1.icache.total_bytes == 64 * KIB
+    assert params.l1.icache.ways == 8
+    assert params.tlb.entries == 1024
+    assert params.tlb.ways == 2
+
+
+def test_aggressive_l1_and_large_tlb_shapes():
+    l1 = aggressive_l1()
+    assert l1.dcache.total_bytes == 64 * KIB
+    tlb = large_tlb()
+    assert tlb.num_sets == 512

@@ -1,0 +1,114 @@
+"""Tests for the SVG figure renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.figures_svg import (
+    line_chart,
+    stacked_fraction_panel,
+    write_figure_svgs,
+)
+from repro.core.errors import ConfigurationError
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+def fraction_rows():
+    return [
+        {"size_bytes": 128, "l1i": 0.5, "l1d": 0.05, "l2": 0.2, "dram": 0.2, "other": 0.05},
+        {"size_bytes": 4096, "l1i": 0.3, "l1d": 0.05, "l2": 0.15, "dram": 0.5, "other": 0.0},
+    ]
+
+
+class TestStackedPanel:
+    def test_valid_xml_with_bars(self):
+        svg = stacked_fraction_panel(
+            fraction_rows(), ("l1i", "l1d", "l2", "dram", "other"), "t"
+        )
+        root = parse(svg)
+        rects = root.findall(f".//{SVG_NS}rect")
+        # Surface + one rect per nonzero segment (9 segments here).
+        assert len(rects) >= 10
+
+    def test_tooltips_present(self):
+        svg = stacked_fraction_panel(
+            fraction_rows(), ("l1i", "l1d", "l2", "dram", "other"), "t"
+        )
+        root = parse(svg)
+        titles = [t.text for t in root.findall(f".//{SVG_NS}title")]
+        assert any("128B L1i: 0.500" in t for t in titles)
+
+    def test_sram_label_substitution(self):
+        svg = stacked_fraction_panel(
+            fraction_rows(), ("l1i", "l2"), "t", sram_label="SRAM"
+        )
+        assert "SRAM" in svg
+        assert ">L2<" not in svg
+
+    def test_dark_mode_block_present(self):
+        svg = stacked_fraction_panel(fraction_rows(), ("l1i", "dram"), "t")
+        assert "prefers-color-scheme: dark" in svg
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            stacked_fraction_panel([], ("l1i",), "t")
+
+
+class TestLineChart:
+    def series(self):
+        return {
+            "baseline": {128: 0.07, 1024: 0.07, 4096: 0.07},
+            "rampage": {128: 2.0, 1024: 0.6, 4096: 0.15},
+        }
+
+    def test_one_path_per_series(self):
+        root = parse(line_chart(self.series(), "t", "y"))
+        paths = root.findall(f".//{SVG_NS}path")
+        assert len(paths) == 2
+
+    def test_markers_have_tooltips(self):
+        root = parse(line_chart(self.series(), "t", "y"))
+        circles = root.findall(f".//{SVG_NS}circle")
+        assert len(circles) == 6
+        assert all(c.find(f"{SVG_NS}title") is not None for c in circles)
+
+    def test_legend_text_present(self):
+        svg = line_chart(self.series(), "t", "y")
+        assert "baseline" in svg and "rampage" in svg
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            line_chart({}, "t", "y")
+
+
+class TestWriteFigureSvgs:
+    def test_writes_all_figures(self, tmp_path):
+        from repro.experiments import ExperimentConfig, Runner
+
+        runner = Runner(
+            ExperimentConfig(
+                scale=0.0001,
+                slice_refs=2_000,
+                issue_rates=(200_000_000, 4_000_000_000),
+                sizes=(128, 4096),
+                cache_dir=None,
+            )
+        )
+        paths = write_figure_svgs(runner, tmp_path)
+        names = {p.name for p in paths}
+        assert names == {
+            "figure2_baseline.svg",
+            "figure2_rampage.svg",
+            "figure3_baseline.svg",
+            "figure3_rampage.svg",
+            "figure4.svg",
+            "figure5_200MHz.svg",
+            "figure5_4GHz.svg",
+        }
+        for path in paths:
+            parse(path.read_text("utf-8"))  # all valid XML

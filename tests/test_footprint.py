@@ -1,0 +1,67 @@
+"""Tests for the OS layout."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.params import KIB, RampageParams
+from repro.ossim.footprint import (
+    CONVENTIONAL_OS_BASE,
+    OsLayout,
+    conventional_layout,
+    rampage_layout,
+)
+
+
+class TestOsLayout:
+    def test_regions_must_not_overlap(self):
+        with pytest.raises(ConfigurationError):
+            OsLayout(
+                code_base=0,
+                code_bytes=100,
+                data_base=50,  # inside code
+                data_bytes=100,
+                table_base=1000,
+                table_entries=10,
+                entry_bytes=16,
+            )
+
+    def test_entry_addr_wraps(self):
+        layout = conventional_layout(table_entries=8, entry_bytes=16)
+        assert layout.entry_addr(0) == layout.table_base
+        assert layout.entry_addr(8) == layout.table_base
+        assert layout.entry_addr(9) == layout.table_base + 16
+
+    def test_total_bytes(self):
+        layout = conventional_layout(
+            table_entries=10, entry_bytes=16, code_bytes=1024, data_bytes=512
+        )
+        assert layout.total_bytes == 1024 + 512 + 160
+
+
+class TestRampageLayout:
+    def test_fits_in_pinned_bytes(self):
+        params = RampageParams(page_bytes=1 * KIB)
+        layout = rampage_layout(params)
+        assert layout.total_bytes <= params.pinned_bytes
+
+    def test_one_entry_per_frame(self):
+        params = RampageParams(page_bytes=512)
+        layout = rampage_layout(params)
+        assert layout.table_entries == params.num_frames
+        assert layout.entry_bytes == params.ipt_entry_bytes
+
+    def test_starts_at_physical_zero(self):
+        layout = rampage_layout(RampageParams())
+        assert layout.code_base == 0
+
+
+class TestConventionalLayout:
+    def test_lives_in_reserved_region(self):
+        layout = conventional_layout()
+        assert layout.code_base == CONVENTIONAL_OS_BASE
+        assert layout.table_base > layout.data_base > layout.code_base
+
+    def test_fixed_table_size_independent_of_block_size(self):
+        # Figure 4: "the baseline hierarchy data is the same across all
+        # block sizes" -- its table maps DRAM pages, not L2 blocks.
+        assert conventional_layout().table_entries == 65_536

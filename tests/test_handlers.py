@@ -1,0 +1,102 @@
+"""Tests for OS handler reference synthesis."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.params import HandlerCosts, RampageParams
+from repro.ossim.footprint import rampage_layout
+from repro.ossim.handlers import HandlerLibrary
+from repro.trace.record import IFETCH, READ, WRITE
+
+
+@pytest.fixture()
+def library():
+    return HandlerLibrary(HandlerCosts(), rampage_layout(RampageParams()))
+
+
+def kinds_of(refs):
+    return [kind for kind, _ in refs]
+
+
+class TestTlbMiss:
+    def test_single_probe_length(self, library):
+        costs = HandlerCosts()
+        refs = library.tlb_miss_refs(vpn=100, probes=1)
+        assert len(refs) == costs.tlb_instr + costs.tlb_data
+        assert len(refs) == library.tlb_miss_ref_count(1)
+
+    def test_extra_probes_add_refs(self, library):
+        costs = HandlerCosts()
+        refs = library.tlb_miss_refs(vpn=100, probes=3)
+        expected = (
+            costs.tlb_instr
+            + costs.tlb_data
+            + 2 * (costs.tlb_probe_instr + costs.tlb_probe_data)
+        )
+        assert len(refs) == expected
+        assert len(refs) == library.tlb_miss_ref_count(3)
+
+    def test_rejects_zero_probes(self, library):
+        with pytest.raises(ConfigurationError):
+            library.tlb_miss_refs(vpn=1, probes=0)
+
+    def test_mix_of_instruction_and_data(self, library):
+        refs = library.tlb_miss_refs(vpn=100, probes=2)
+        kinds = set(kinds_of(refs))
+        assert IFETCH in kinds and READ in kinds
+
+    def test_same_vpn_touches_same_entries(self, library):
+        a = library.tlb_miss_refs(vpn=100, probes=1)
+        b = library.tlb_miss_refs(vpn=100, probes=1)
+        assert a == b
+
+    def test_addresses_stay_in_pinned_layout(self, library):
+        layout = library.layout
+        limit = layout.table_base + layout.table_bytes
+        for _, addr in library.tlb_miss_refs(vpn=12345, probes=4):
+            assert 0 <= addr < limit
+
+
+class TestPageFault:
+    def test_scan_cost_uses_bitmap_words(self, library):
+        costs = HandlerCosts()
+        base = library.page_fault_refs(vpn=5, scanned=0)
+        assert len(base) == costs.fault_instr + costs.fault_data
+        one_word = library.page_fault_refs(vpn=5, scanned=32)
+        # 32 frames = one bitmap word: 4 instructions + 1 store.
+        assert len(one_word) == len(base) + 5
+        two_words = library.page_fault_refs(vpn=5, scanned=33)
+        assert len(two_words) == len(base) + 10
+
+    def test_count_helper_matches(self, library):
+        for scanned in (0, 1, 31, 32, 100):
+            assert library.page_fault_ref_count(scanned) == len(
+                library.page_fault_refs(vpn=9, scanned=scanned)
+            )
+
+    def test_rejects_negative_scan(self, library):
+        with pytest.raises(ConfigurationError):
+            library.page_fault_refs(vpn=1, scanned=-1)
+
+    def test_contains_writes(self, library):
+        refs = library.page_fault_refs(vpn=5, scanned=64)
+        assert WRITE in kinds_of(refs)
+
+
+class TestContextSwitch:
+    def test_paper_400_references(self, library):
+        refs = library.context_switch_refs(pid=0)
+        assert len(refs) == 400
+
+    def test_cached_per_pid(self, library):
+        assert library.context_switch_refs(3) is library.context_switch_refs(3)
+
+    def test_different_pids_touch_different_pcbs(self, library):
+        a = {addr for _, addr in library.context_switch_refs(0)}
+        b = {addr for _, addr in library.context_switch_refs(1)}
+        assert a != b
+
+    def test_mostly_instructions(self, library):
+        refs = library.context_switch_refs(0)
+        instr = sum(1 for kind, _ in refs if kind == IFETCH)
+        assert instr == HandlerCosts().switch_instr

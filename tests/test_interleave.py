@@ -1,0 +1,137 @@
+"""Tests for the multiprogramming interleaver."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.trace.benchmarks import table2_catalog
+from repro.trace.interleave import InterleavedWorkload, ProgramStream
+from repro.trace.record import TraceChunk
+from repro.trace.synthetic import SyntheticProgram
+
+
+def make_programs(n=3, refs=1000, chunk_refs=128):
+    specs = list(table2_catalog().values())
+    return [
+        SyntheticProgram(specs[i], total_refs=refs, pid=i, seed=i, chunk_refs=chunk_refs)
+        for i in range(n)
+    ]
+
+
+class TestProgramStream:
+    def test_take_respects_limit(self):
+        stream = ProgramStream(make_programs(1)[0])
+        chunk = stream.take(50)
+        assert len(chunk) == 50
+        assert stream.consumed == 50
+
+    def test_exhaustion(self):
+        stream = ProgramStream(make_programs(1, refs=100)[0])
+        total = 0
+        while not stream.exhausted:
+            chunk = stream.take(64)
+            if chunk is None:
+                break
+            total += len(chunk)
+        assert total == 100
+        assert stream.exhausted
+
+    def test_push_back_replays(self):
+        stream = ProgramStream(make_programs(1)[0])
+        chunk = stream.take(10)
+        stream.push_back(chunk)
+        again = stream.take(10)
+        assert np.array_equal(chunk.addrs, again.addrs)
+        assert stream.consumed == 10
+
+    def test_push_back_wrong_pid_rejected(self):
+        stream = ProgramStream(make_programs(1)[0])
+        stream.take(4)
+        alien = TraceChunk(
+            pid=99,
+            kinds=np.zeros(2, dtype=np.uint8),
+            addrs=np.zeros(2, dtype=np.uint64),
+        )
+        with pytest.raises(ConfigurationError):
+            stream.push_back(alien)
+
+    def test_take_rejects_nonpositive(self):
+        stream = ProgramStream(make_programs(1)[0])
+        with pytest.raises(ConfigurationError):
+            stream.take(0)
+
+
+class TestInterleavedWorkload:
+    def test_consumes_everything(self):
+        workload = InterleavedWorkload(make_programs(3, refs=1000), slice_refs=300)
+        total = sum(len(chunk) for chunk in workload.chunks())
+        assert total == 3000
+
+    def test_round_robin_slice_order(self):
+        workload = InterleavedWorkload(
+            make_programs(3, refs=600, chunk_refs=100), slice_refs=200
+        )
+        pid_sequence = []
+        for chunk in workload.chunks():
+            if not pid_sequence or pid_sequence[-1] != chunk.pid:
+                pid_sequence.append(chunk.pid)
+        assert pid_sequence == [0, 1, 2, 0, 1, 2, 0, 1, 2]
+
+    def test_new_slice_flags(self):
+        workload = InterleavedWorkload(
+            make_programs(2, refs=400, chunk_refs=100), slice_refs=200
+        )
+        chunks = list(workload.chunks())
+        boundaries = [c.new_slice for c in chunks]
+        # Slice = 200 refs = two 100-ref chunks: flags alternate.
+        assert boundaries == [True, False] * 4
+
+    def test_slice_lengths_respected(self):
+        workload = InterleavedWorkload(make_programs(2, refs=1000), slice_refs=300)
+        current = 0
+        for chunk in workload.chunks():
+            if chunk.new_slice:
+                if current:
+                    assert current <= 300
+                current = 0
+            current += len(chunk)
+
+    def test_preempt_pushes_back_and_rotates(self):
+        workload = InterleavedWorkload(
+            make_programs(3, refs=500, chunk_refs=100), slice_refs=500
+        )
+        first = workload.next_chunk()
+        assert first.pid == 0
+        tail = TraceChunk(pid=0, kinds=first.kinds[50:], addrs=first.addrs[50:])
+        workload.preempt(tail)
+        nxt = workload.next_chunk()
+        assert nxt.pid == 1
+        assert nxt.new_slice
+        # Total consumption is still exact.
+        consumed = 50 + len(nxt) + sum(len(c) for c in workload.chunks())
+        assert consumed == 1500
+
+    def test_exhausted_programs_drop_out(self):
+        programs = make_programs(2, refs=100) + make_programs(1, refs=2000)[0:0]
+        specs = list(table2_catalog().values())
+        long_prog = SyntheticProgram(specs[5], total_refs=2000, pid=9, seed=9)
+        workload = InterleavedWorkload(programs + [long_prog], slice_refs=100)
+        pids = [chunk.pid for chunk in workload.chunks()]
+        # After the short programs drain, only pid 9 appears.
+        tail = pids[-10:]
+        assert set(tail) == {9}
+
+    def test_duplicate_pids_rejected(self):
+        programs = make_programs(2)
+        programs[1].pid = programs[0].pid
+        with pytest.raises(ConfigurationError):
+            InterleavedWorkload(programs)
+
+    def test_empty_program_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InterleavedWorkload([])
+
+    def test_total_consumed_tracking(self):
+        workload = InterleavedWorkload(make_programs(2, refs=300), slice_refs=100)
+        list(workload.chunks())
+        assert workload.total_consumed() == 600

@@ -1,0 +1,117 @@
+"""Tests for the inverted page table."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import SimulationError
+from repro.mem.inverted_page_table import FREE, InvertedPageTable
+
+
+class TestBasics:
+    def test_lookup_empty(self):
+        ipt = InvertedPageTable(8)
+        frame, probes = ipt.lookup(42)
+        assert frame == FREE
+        assert probes >= 1
+
+    def test_insert_then_lookup(self):
+        ipt = InvertedPageTable(8)
+        ipt.insert(42, 3)
+        frame, probes = ipt.lookup(42)
+        assert frame == 3
+        assert probes >= 1
+
+    def test_remove_frame(self):
+        ipt = InvertedPageTable(8)
+        ipt.insert(42, 3)
+        vpn, probes = ipt.remove_frame(3)
+        assert vpn == 42
+        assert ipt.lookup(42)[0] == FREE
+        assert ipt.vpn_of(3) == FREE
+
+    def test_insert_into_occupied_frame_raises(self):
+        ipt = InvertedPageTable(8)
+        ipt.insert(1, 0)
+        with pytest.raises(SimulationError):
+            ipt.insert(2, 0)
+
+    def test_remove_free_frame_raises(self):
+        ipt = InvertedPageTable(8)
+        with pytest.raises(SimulationError):
+            ipt.remove_frame(5)
+
+    def test_entry_count(self):
+        ipt = InvertedPageTable(8)
+        for frame in range(5):
+            ipt.insert(frame * 1000, frame)
+        assert ipt.entries == 5
+        ipt.remove_frame(2)
+        assert ipt.entries == 4
+
+
+class TestChains:
+    def test_colliding_vpns_chain(self):
+        """Force vpns into the same bucket and check chain traversal."""
+        ipt = InvertedPageTable(4)  # 4 buckets
+        # Find vpns sharing a bucket.
+        target = ipt._bucket(0)
+        colliders = [v for v in range(10_000) if ipt._bucket(v) == target][:3]
+        assert len(colliders) == 3
+        for frame, vpn in enumerate(colliders):
+            ipt.insert(vpn, frame)
+        for frame, vpn in enumerate(colliders):
+            found, probes = ipt.lookup(vpn)
+            assert found == frame
+        # Deepest element requires more probes than the chain head.
+        _, head_probes = ipt.lookup(colliders[-1])  # inserted last = head
+        _, tail_probes = ipt.lookup(colliders[0])
+        assert tail_probes >= head_probes
+
+    def test_remove_middle_of_chain(self):
+        ipt = InvertedPageTable(4)
+        target = ipt._bucket(0)
+        colliders = [v for v in range(10_000) if ipt._bucket(v) == target][:3]
+        for frame, vpn in enumerate(colliders):
+            ipt.insert(vpn, frame)
+        ipt.remove_frame(1)  # middle by insertion order
+        assert ipt.lookup(colliders[1])[0] == FREE
+        assert ipt.lookup(colliders[0])[0] == 0
+        assert ipt.lookup(colliders[2])[0] == 2
+        ipt.check_invariants()
+
+    def test_mean_probes_tracks(self):
+        ipt = InvertedPageTable(16)
+        ipt.insert(1, 0)
+        ipt.lookup(1)
+        assert ipt.mean_probes >= 1.0
+
+    def test_hash_spreads_sequential_vpns(self):
+        """Dense sequential vpn runs must not cluster (regression for
+        the >>7 hash bug that produced 6+ mean probes)."""
+        ipt = InvertedPageTable(4096)
+        base = 0x2000_0000 >> 7
+        for frame in range(2048):
+            ipt.insert(base + frame, frame)
+        probes = [ipt.lookup(base + frame)[1] for frame in range(2048)]
+        assert sum(probes) / len(probes) < 1.8
+
+
+@settings(max_examples=30)
+@given(
+    vpns=st.lists(
+        st.integers(min_value=0, max_value=2**30), unique=True, min_size=1, max_size=64
+    )
+)
+def test_property_insert_lookup_remove(vpns):
+    """Any set of distinct vpns round-trips through the table."""
+    ipt = InvertedPageTable(64)
+    for frame, vpn in enumerate(vpns):
+        ipt.insert(vpn, frame)
+    ipt.check_invariants()
+    for frame, vpn in enumerate(vpns):
+        assert ipt.lookup(vpn)[0] == frame
+    for frame, vpn in enumerate(vpns):
+        removed, _ = ipt.remove_frame(frame)
+        assert removed == vpn
+    ipt.check_invariants()
+    assert ipt.entries == 0

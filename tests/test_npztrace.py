@@ -1,0 +1,100 @@
+"""Tests for the binary .npz trace format."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TraceFormatError
+from repro.trace import dinero, npztrace
+from repro.trace.benchmarks import table2_catalog
+from repro.trace.record import READ, Reference, TraceChunk
+from repro.trace.synthetic import SyntheticProgram
+
+
+def sample_chunks():
+    spec = table2_catalog()["sed"]
+    return list(SyntheticProgram(spec, total_refs=5_000, pid=2, seed=1).chunks())
+
+
+def flatten(chunks):
+    return [
+        (chunk.pid, int(k), int(a))
+        for chunk in chunks
+        for k, a in zip(chunk.kinds, chunk.addrs)
+    ]
+
+
+def test_round_trip(tmp_path):
+    path = tmp_path / "trace.npz"
+    chunks = sample_chunks()
+    written = npztrace.write_npz(path, chunks)
+    assert written == 5_000
+    out = list(npztrace.read_npz(path))
+    assert flatten(out) == flatten(chunks)
+
+
+def test_rechunking_at_pid_changes(tmp_path):
+    path = tmp_path / "trace.npz"
+    chunks = [
+        TraceChunk.from_references([Reference(READ, 4, pid=0)] * 10),
+        TraceChunk.from_references([Reference(READ, 8, pid=1)] * 5),
+        TraceChunk.from_references([Reference(READ, 12, pid=0)] * 3),
+    ]
+    npztrace.write_npz(path, chunks)
+    out = list(npztrace.read_npz(path))
+    assert [(c.pid, len(c)) for c in out] == [(0, 10), (1, 5), (0, 3)]
+
+
+def test_chunk_refs_cap(tmp_path):
+    path = tmp_path / "trace.npz"
+    npztrace.write_npz(path, sample_chunks())
+    out = list(npztrace.read_npz(path, chunk_refs=512))
+    assert all(len(c) <= 512 for c in out)
+    assert sum(len(c) for c in out) == 5_000
+
+
+def test_empty_stream(tmp_path):
+    path = tmp_path / "trace.npz"
+    assert npztrace.write_npz(path, []) == 0
+    assert list(npztrace.read_npz(path)) == []
+
+
+def test_smaller_than_din(tmp_path):
+    chunks = sample_chunks()
+    din_path = tmp_path / "t.din"
+    npz_path = tmp_path / "t.npz"
+    dinero.write_din(din_path, chunks)
+    npztrace.write_npz(npz_path, chunks)
+    assert npz_path.stat().st_size < din_path.stat().st_size / 2
+
+
+def test_rejects_non_trace_npz(tmp_path):
+    path = tmp_path / "bogus.npz"
+    np.savez(path, something=np.arange(3))
+    with pytest.raises(TraceFormatError):
+        list(npztrace.read_npz(path))
+
+
+def test_rejects_bad_kinds(tmp_path):
+    path = tmp_path / "bad.npz"
+    np.savez(
+        path,
+        version=np.int32(1),
+        kinds=np.array([9], dtype=np.uint8),
+        addrs=np.array([0], dtype=np.uint64),
+        pids=np.array([0], dtype=np.int32),
+    )
+    with pytest.raises(TraceFormatError):
+        list(npztrace.read_npz(path))
+
+
+def test_rejects_wrong_version(tmp_path):
+    path = tmp_path / "old.npz"
+    np.savez(
+        path,
+        version=np.int32(99),
+        kinds=np.empty(0, dtype=np.uint8),
+        addrs=np.empty(0, dtype=np.uint64),
+        pids=np.empty(0, dtype=np.int32),
+    )
+    with pytest.raises(TraceFormatError):
+        list(npztrace.read_npz(path))

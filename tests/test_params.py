@@ -1,0 +1,216 @@
+"""Tests for parameter validation and the paper's section 4 numbers."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.params import (
+    KIB,
+    MIB,
+    BusParams,
+    CacheParams,
+    DiskParams,
+    HandlerCosts,
+    L1Params,
+    MachineParams,
+    RambusParams,
+    RampageParams,
+    TlbParams,
+    is_power_of_two,
+)
+
+
+class TestCacheParams:
+    def test_paper_l2_geometry(self):
+        l2 = CacheParams(4 * MIB, 128, associativity=1)
+        assert l2.num_blocks == 32_768
+        assert l2.num_sets == 32_768
+        assert l2.is_direct_mapped
+
+    def test_two_way_geometry(self):
+        l2 = CacheParams(4 * MIB, 128, associativity=2)
+        assert l2.ways == 2
+        assert l2.num_sets == 16_384
+
+    def test_fully_associative(self):
+        cache = CacheParams(4 * KIB, 128, associativity=0)
+        assert cache.ways == cache.num_blocks == 32
+        assert cache.num_sets == 1
+
+    def test_rejects_non_power_of_two_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheParams(3 * KIB, 32)
+
+    def test_rejects_block_larger_than_cache(self):
+        with pytest.raises(ConfigurationError):
+            CacheParams(128, 256)
+
+    def test_rejects_negative_associativity(self):
+        with pytest.raises(ConfigurationError):
+            CacheParams(4 * KIB, 32, associativity=-1)
+
+    def test_rejects_non_dividing_ways(self):
+        with pytest.raises(ConfigurationError):
+            CacheParams(4 * KIB, 32, associativity=3)
+
+
+class TestL1Params:
+    def test_paper_defaults(self):
+        l1 = L1Params()
+        assert l1.icache.total_bytes == 16 * KIB
+        assert l1.dcache.total_bytes == 16 * KIB
+        assert l1.block_bytes == 32
+        assert l1.hit_cycles == 1
+        assert l1.miss_penalty_cycles == 12
+        assert l1.writeback_cycles == 12
+        assert l1.rampage_writeback_cycles == 9
+
+    def test_mismatched_block_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            L1Params(
+                icache=CacheParams(16 * KIB, 32),
+                dcache=CacheParams(16 * KIB, 64),
+            )
+
+
+class TestTlbParams:
+    def test_paper_default_is_64_fully_associative(self):
+        tlb = TlbParams()
+        assert tlb.entries == 64
+        assert tlb.ways == 64
+        assert tlb.num_sets == 1
+
+    def test_future_work_tlb(self):
+        tlb = TlbParams(entries=1024, associativity=2)
+        assert tlb.num_sets == 512
+
+    def test_rejects_bad_way_split(self):
+        with pytest.raises(ConfigurationError):
+            TlbParams(entries=64, associativity=3)
+
+
+class TestRambusParams:
+    def test_paper_timing(self):
+        dram = RambusParams()
+        assert dram.access_ps == 50_000  # 50 ns
+        assert dram.ps_per_beat == 1250  # 1.25 ns
+        assert dram.bytes_per_beat == 2
+
+    def test_peak_bandwidth_is_1_6_gbytes(self):
+        # 2 bytes / 1.25 ns = 1.6e9 B/s, the paper's "1.5Gbyte/s" rounded.
+        assert RambusParams().peak_bytes_per_second == pytest.approx(1.6e9)
+
+    def test_pipeline_efficiency_bounds(self):
+        with pytest.raises(ConfigurationError):
+            RambusParams(pipeline_efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            RambusParams(pipeline_efficiency=1.5)
+
+
+class TestRampageParams:
+    def test_tag_bonus_matches_paper_at_128(self):
+        # Paper: SRAM main memory is 128 KB larger at 128-byte pages
+        # (4.125 MB total), the space the L2 tags would have used.
+        params = RampageParams(page_bytes=128)
+        assert params.total_bytes == 4 * MIB + 128 * KIB
+
+    def test_tag_bonus_scales_down_with_page_size(self):
+        small = RampageParams(page_bytes=128)
+        large = RampageParams(page_bytes=4 * KIB)
+        assert large.total_bytes - 4 * MIB == (small.total_bytes - 4 * MIB) // 32
+
+    def test_os_footprint_matches_paper_4k(self):
+        # Paper: 6 pages (24 KB) of OS residency at 4 KB pages; our
+        # linear model (code/data + one 20-byte entry per frame) lands
+        # at 7 pages there while matching the 128-byte end exactly.
+        params = RampageParams(page_bytes=4 * KIB)
+        assert 6 <= params.pinned_frames <= 7
+
+    def test_os_footprint_matches_paper_128(self):
+        # Paper: 5336 pages (~667 KB) at 128-byte pages.  The exact count
+        # depends on the entry size; ours lands within 1% of the paper's.
+        params = RampageParams(page_bytes=128)
+        assert 5250 <= params.pinned_frames <= 5400
+        assert abs(params.pinned_bytes - 667 * KIB) / (667 * KIB) < 0.01
+
+    def test_pinning_cannot_consume_memory(self):
+        with pytest.raises(ConfigurationError):
+            RampageParams(page_bytes=128, base_bytes=64 * KIB, ipt_entry_bytes=256)
+
+
+class TestMachineParams:
+    def test_conventional_rejects_switch_on_miss(self):
+        with pytest.raises(ConfigurationError):
+            MachineParams(kind="conventional", switch_on_miss=True)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            MachineParams(kind="weird")  # type: ignore[arg-type]
+
+    def test_l2_block_below_l1_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineParams(
+                kind="conventional", l2=CacheParams(4 * MIB, 16, associativity=1)
+            )
+
+    def test_sram_page_above_dram_page_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineParams(
+                kind="rampage",
+                rampage=RampageParams(page_bytes=8 * KIB),
+                dram_page_bytes=4 * KIB,
+            )
+
+    def test_transfer_unit_selects_by_kind(self):
+        conv = MachineParams(kind="conventional", l2=CacheParams(4 * MIB, 256))
+        ramp = MachineParams(kind="rampage", rampage=RampageParams(page_bytes=512))
+        assert conv.transfer_unit_bytes == 256
+        assert ramp.transfer_unit_bytes == 512
+
+    def test_translation_page_selects_by_kind(self):
+        conv = MachineParams(kind="conventional")
+        ramp = MachineParams(kind="rampage", rampage=RampageParams(page_bytes=256))
+        assert conv.translation_page_bytes == 4 * KIB
+        assert ramp.translation_page_bytes == 256
+
+    def test_with_issue_rate_copies(self):
+        base = MachineParams(kind="conventional")
+        fast = base.with_issue_rate(4_000_000_000)
+        assert fast.issue_rate_hz == 4_000_000_000
+        assert base.issue_rate_hz == 200_000_000
+
+    def test_with_transfer_unit_conventional(self):
+        base = MachineParams(kind="conventional")
+        resized = base.with_transfer_unit(1024)
+        assert resized.l2.block_bytes == 1024
+
+    def test_with_transfer_unit_rampage(self):
+        base = MachineParams(kind="rampage")
+        resized = base.with_transfer_unit(2048)
+        assert resized.rampage.page_bytes == 2048
+
+
+class TestMisc:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(4096)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(-4)
+        assert not is_power_of_two(12)
+
+    def test_handler_costs_switch_refs_is_about_400(self):
+        # Paper: "approximately 400 references per context switch".
+        assert HandlerCosts().switch_refs == 400
+
+    def test_handler_costs_reject_negative(self):
+        with pytest.raises(ConfigurationError):
+            HandlerCosts(tlb_instr=-1)
+
+    def test_bus_defaults(self):
+        bus = BusParams()
+        assert bus.width_bytes == 16
+        assert bus.cpu_clock_divisor == 3
+
+    def test_disk_defaults(self):
+        disk = DiskParams()
+        assert disk.latency_s == pytest.approx(10e-3)
+        assert disk.bandwidth_bytes_per_s == pytest.approx(40e6)

@@ -1,0 +1,120 @@
+"""Tests for the address-pattern primitives."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.trace import patterns
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestBranchyCode:
+    def test_length_and_range(self):
+        addrs = patterns.branchy_code(rng(), 1000, code_bytes=8192, base=0x400000)
+        assert len(addrs) == 1000
+        assert addrs.min() >= 0x400000
+        assert addrs.max() < 0x400000 + 8192
+
+    def test_word_aligned(self):
+        addrs = patterns.branchy_code(rng(), 500, code_bytes=4096)
+        assert np.all(addrs % 4 == 0)
+
+    def test_mostly_sequential(self):
+        addrs = patterns.branchy_code(rng(), 2000, code_bytes=65536, mean_run=16)
+        deltas = np.diff(addrs.astype(np.int64))
+        sequential = np.count_nonzero(deltas == 4)
+        assert sequential / len(deltas) > 0.7
+
+    def test_deterministic(self):
+        a = patterns.branchy_code(rng(42), 300, 4096)
+        b = patterns.branchy_code(rng(42), 300, 4096)
+        assert np.array_equal(a, b)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            patterns.branchy_code(rng(), 0, 4096)
+
+
+class TestStreams:
+    def test_sequential_advances_by_word(self):
+        addrs = patterns.sequential_stream(10, region_bytes=4096, base=100)
+        assert list(addrs) == [100 + 4 * i for i in range(10)]
+
+    def test_sequential_wraps(self):
+        addrs = patterns.sequential_stream(5, region_bytes=8, start=4)
+        assert list(addrs) == [4, 0, 4, 0, 4]
+
+    def test_strided_stride(self):
+        addrs = patterns.strided_stream(4, region_bytes=4096, stride_bytes=512)
+        assert list(addrs) == [0, 512, 1024, 1536]
+
+    def test_strided_wraps(self):
+        addrs = patterns.strided_stream(3, region_bytes=1024, stride_bytes=512)
+        assert list(addrs) == [0, 512, 0]
+
+
+class TestHotSet:
+    def test_in_region_and_aligned(self):
+        addrs = patterns.hot_set(rng(), 1000, region_bytes=4096, base=64)
+        assert addrs.min() >= 64
+        assert addrs.max() < 64 + 4096
+        assert np.all((addrs - 64) % 4 == 0)
+
+    def test_focus_concentrates_traffic(self):
+        addrs = patterns.hot_set(
+            rng(1), 10_000, region_bytes=65536, focus=0.8, core_frac=0.125
+        )
+        core = np.count_nonzero(addrs < 65536 // 8)
+        assert core / len(addrs) > 0.75
+
+    def test_zero_focus_is_uniform_ish(self):
+        addrs = patterns.hot_set(
+            rng(1), 10_000, region_bytes=65536, focus=0.0, core_frac=0.125
+        )
+        core = np.count_nonzero(addrs < 65536 // 8)
+        assert 0.08 < core / len(addrs) < 0.17
+
+    def test_rejects_bad_focus(self):
+        with pytest.raises(ConfigurationError):
+            patterns.hot_set(rng(), 10, 4096, focus=1.5)
+        with pytest.raises(ConfigurationError):
+            patterns.hot_set(rng(), 10, 4096, core_frac=0.0)
+
+
+class TestPointerChase:
+    def test_visits_distinct_nodes(self):
+        addrs = patterns.pointer_chase(rng(3), 100, region_bytes=8192, node_bytes=32)
+        # A permutation walk of 256 nodes: the first 100 steps are distinct.
+        assert len(set(addrs.tolist())) == 100
+
+    def test_node_alignment(self):
+        addrs = patterns.pointer_chase(rng(3), 50, region_bytes=4096, node_bytes=64)
+        assert np.all(addrs % 64 == 0)
+
+    def test_walk_continues_deterministically(self):
+        a = patterns.pointer_chase(rng(5), 200, 4096)
+        b = patterns.pointer_chase(rng(5), 200, 4096)
+        assert np.array_equal(a, b)
+
+
+class TestMixture:
+    def test_weights_respected_roughly(self):
+        parts = [
+            np.zeros(1000, dtype=np.uint64),
+            np.ones(1000, dtype=np.uint64),
+        ]
+        out = patterns.mixture(rng(7), parts, [0.9, 0.1], 5000)
+        ones = int(out.sum())
+        assert 300 < ones < 800  # ~10% of 5000
+
+    def test_rejects_mismatched_inputs(self):
+        with pytest.raises(ConfigurationError):
+            patterns.mixture(rng(), [np.zeros(1, dtype=np.uint64)], [0.5, 0.5], 10)
+
+    def test_rejects_empty_part(self):
+        parts = [np.zeros(0, dtype=np.uint64), np.ones(10, dtype=np.uint64)]
+        with pytest.raises(ConfigurationError):
+            patterns.mixture(rng(11), parts, [1.0, 1.0], 50)

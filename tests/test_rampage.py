@@ -1,0 +1,197 @@
+"""Behavioural tests for the RAMpage machine."""
+
+import pytest
+
+from repro.core.params import (
+    KIB,
+    MIB,
+    HandlerCosts,
+    MachineParams,
+    RampageParams,
+)
+from repro.mem.inverted_page_table import FREE
+from repro.systems.rampage import DRAM_TABLE_ENTRY_BYTES, RampageSystem
+from repro.trace.record import IFETCH, READ, WRITE
+
+NO_HANDLERS = HandlerCosts(
+    tlb_instr=0,
+    tlb_data=0,
+    tlb_probe_instr=0,
+    tlb_probe_data=0,
+    fault_instr=0,
+    fault_data=0,
+    switch_instr=0,
+    switch_data=0,
+)
+
+
+def machine(
+    page=128,
+    rate=1_000_000_000,
+    handlers=NO_HANDLERS,
+    base_kib=None,
+    switch_on_miss=False,
+    standby=0,
+    **kw,
+):
+    rampage = RampageParams(
+        page_bytes=page,
+        standby_pages=standby,
+        **({"base_bytes": base_kib * KIB, "pinned_code_data_bytes": 2 * KIB,
+            "ipt_entry_bytes": 16} if base_kib else {}),
+    )
+    return RampageSystem(
+        MachineParams(
+            kind="rampage",
+            issue_rate_hz=rate,
+            rampage=rampage,
+            handlers=handlers,
+            switch_on_miss=switch_on_miss,
+            scheduled_switches=switch_on_miss,
+            **kw,
+        )
+    )
+
+
+class TestExactTiming:
+    def test_cold_ifetch_cost(self):
+        """Fault: DRAM table entry read + page fetch, then L1 fill."""
+        system = machine(page=128)
+        system.access(IFETCH, 0x1000)
+        table_ps = 50_000 + (DRAM_TABLE_ENTRY_BYTES // 2) * 1250
+        page_ps = 50_000 + 64 * 1250
+        expected = table_ps + page_ps + 12 * 1000 + 1 * 1000
+        assert system.clock.now_ps == expected
+
+    def test_warm_access_within_page(self):
+        system = machine(page=128)
+        system.access(READ, 0x1000)
+        before = system.clock.now_ps
+        system.access(READ, 0x1004)  # same L1 block: free
+        assert system.clock.now_ps == before
+        system.access(READ, 0x1000 + 32)  # same page, new L1 block
+        assert system.clock.now_ps == before + 12_000  # SRAM transfer only
+
+    def test_no_tag_check_below_l1(self):
+        """A resident page never touches DRAM again."""
+        system = machine(page=128)
+        system.access(READ, 0x1000)
+        dram_before = system.stats.dram_accesses
+        for offset in range(0, 128, 32):
+            system.access(READ, 0x1000 + offset)
+        assert system.stats.dram_accesses == dram_before
+
+    def test_rampage_writeback_is_9_cycles(self):
+        """L1 writebacks cost 9 cycles: no L2 tag to update."""
+        system = machine(page=4096)
+        assert system._wb_cycles == 9
+        # Frames are allocated in fault order, so virtual pages 0 and 4
+        # land in SRAM frames 4 pages (16 KB) apart -- the same set of
+        # the 16 KB direct-mapped L1.
+        system.access(WRITE, 0)  # dirty L1 block in page 0
+        for page in range(1, 5):
+            system.access(READ, page * 4096)
+        assert system.stats.l1_writebacks == 1
+        # The dirty bit propagated to the SRAM page, charged at 9 cycles.
+        frame, _ = system.sram.translate(system.global_vpn(0, 0))
+        assert system.sram.is_dirty(frame)
+
+
+class TestFaulting:
+    def test_tlb_hit_implies_resident(self):
+        system = machine(page=128, base_kib=16)
+        for i in range(400):
+            system.access(READ, i * 128)
+            gvpn = system.global_vpn(i * 128, 0)
+            frame = system.tlb.peek(gvpn)
+            if frame is not None:
+                assert system.sram.ipt.vpn_of(frame) == gvpn
+
+    def test_eviction_flushes_tlb_entry(self):
+        system = machine(page=128, base_kib=16)
+        capacity = system.sram.free_frames()
+        for i in range(capacity + 50):
+            system.access(READ, i * 128)
+        # Every TLB entry still maps a resident page.
+        for set_map in system.tlb._maps:
+            for gvpn, frame in set_map.items():
+                assert system.sram.ipt.vpn_of(frame) == gvpn
+
+    def test_dirty_page_writeback(self):
+        system = machine(page=128, base_kib=16)
+        capacity = system.sram.free_frames()
+        system.access(WRITE, 0)  # page 0 dirty via L1 write-allocate?
+        # Write-allocate marks the L1 block dirty, not the page; force
+        # the L1 block out so the page itself becomes dirty.
+        system.access(READ, 16 * KIB)  # evicts dirty L1 block
+        for i in range(2, capacity + 4):
+            system.access(READ, i * 128 * 257)  # scatter to distinct pages
+        assert system.stats.page_writebacks >= 1
+
+    def test_fault_handler_counts(self):
+        system = machine(page=128, handlers=HandlerCosts())
+        system.access(READ, 0)
+        assert system.stats.page_faults == 1
+        assert system.stats.fault_handler_refs > 0
+        assert system.stats.tlb_handler_refs > 0
+
+    def test_tlb_miss_to_resident_page_avoids_dram(self):
+        """Section 2.3: TLB misses for resident pages never reach DRAM."""
+        system = machine(page=128, handlers=HandlerCosts())
+        system.access(READ, 0)  # fault brings the page in
+        # Evict the TLB entry by filling the TLB with other pages.
+        system.tlb.flush_vpn(system.global_vpn(0, 0))
+        transfers_before = system.channel.transfers
+        system.access(READ, 4)  # TLB miss, page resident
+        assert system.channel.transfers == transfers_before
+        assert system.stats.page_faults == 1  # no new fault
+
+
+class TestSwitchOnMiss:
+    def test_fault_requests_preemption(self):
+        system = machine(page=128, switch_on_miss=True)
+        completed = system.access(READ, 0)
+        assert completed is False
+        assert system.stats.switches_on_miss == 1
+        # The fault was still serviced: the page is mapped.
+        assert system.sram.translate(system.global_vpn(0, 0))[0] != FREE
+
+    def test_replay_completes_and_may_stall(self):
+        system = machine(page=128, switch_on_miss=True)
+        assert system.access(READ, 0) is False
+        before = system.clock.now_ps
+        assert system.access(READ, 0) is True
+        # The background transfer had not completed: the replay stalls.
+        assert system.stats.dram_stall_ps > 0
+        assert system.clock.now_ps > before
+
+    def test_transfer_overlap_recorded(self):
+        system = machine(page=128, switch_on_miss=True)
+        system.access(READ, 0)
+        assert system.stats.dram_overlap_ps > 0
+
+    def test_no_preemption_without_flag(self):
+        system = machine(page=128, switch_on_miss=False)
+        assert system.access(READ, 0) is True
+
+
+class TestStandbyIntegration:
+    def test_soft_faults_avoid_dram(self):
+        system = machine(page=128, base_kib=16, standby=8)
+        capacity = system.sram.free_frames()
+        pages = capacity + 4
+        for i in range(pages):
+            system.access(READ, i * 128)
+        # Touch the most recently evicted pages again: soft faults.
+        transfers_before = system.channel.transfers
+        soft_before = system.sram.soft_faults
+        evicted_addr = None
+        for i in range(pages):
+            gvpn = system.global_vpn(i * 128, 0)
+            if system.sram.standby.contains(gvpn):
+                evicted_addr = i * 128
+                break
+        assert evicted_addr is not None
+        system.access(READ, evicted_addr)
+        assert system.sram.soft_faults == soft_before + 1
+        assert system.channel.transfers == transfers_before

@@ -1,0 +1,67 @@
+"""Tests for reference records and chunks."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TraceFormatError
+from repro.trace.record import (
+    IFETCH,
+    READ,
+    WRITE,
+    Reference,
+    TraceChunk,
+    empty_chunk,
+)
+
+
+class TestReference:
+    def test_kind_constants_follow_dinero(self):
+        assert READ == 0 and WRITE == 1 and IFETCH == 2
+
+    def test_validate_accepts_good_reference(self):
+        ref = Reference(IFETCH, 0x1000, pid=3)
+        assert ref.validate() is ref
+
+    def test_validate_rejects_bad_kind(self):
+        with pytest.raises(TraceFormatError):
+            Reference(7, 0x1000).validate()
+
+    def test_validate_rejects_out_of_range_address(self):
+        with pytest.raises(TraceFormatError):
+            Reference(READ, 2**32).validate(vaddr_bits=32)
+
+    def test_validate_rejects_negative_pid(self):
+        with pytest.raises(TraceFormatError):
+            Reference(READ, 0, pid=-1).validate()
+
+
+class TestTraceChunk:
+    def test_round_trip_through_references(self):
+        refs = [Reference(READ, 4), Reference(WRITE, 8), Reference(IFETCH, 12)]
+        chunk = TraceChunk.from_references(refs)
+        assert list(chunk.references()) == refs
+        assert len(chunk) == 3
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(TraceFormatError):
+            TraceChunk(
+                pid=0,
+                kinds=np.zeros(3, dtype=np.uint8),
+                addrs=np.zeros(2, dtype=np.uint64),
+            )
+
+    def test_mixed_pids_rejected(self):
+        refs = [Reference(READ, 4, pid=0), Reference(READ, 8, pid=1)]
+        with pytest.raises(TraceFormatError):
+            TraceChunk.from_references(refs)
+
+    def test_pid_taken_from_first_reference(self):
+        refs = [Reference(READ, 4, pid=5), Reference(READ, 8, pid=5)]
+        chunk = TraceChunk.from_references(refs)
+        assert chunk.pid == 5
+
+    def test_empty_chunk(self):
+        chunk = empty_chunk(pid=2)
+        assert len(chunk) == 0
+        assert chunk.pid == 2
+        assert list(chunk.references()) == []

@@ -1,0 +1,115 @@
+"""Tests for clock replacement and the standby list."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.mem.replacement import ClockReplacer, StandbyList
+
+
+class TestClockReplacer:
+    def test_victimises_unreferenced_frame(self):
+        clock = ClockReplacer(4)
+        frame, scanned = clock.choose_victim()
+        assert frame == 0
+        assert scanned == 1
+
+    def test_second_chance(self):
+        clock = ClockReplacer(4)
+        clock.touch(0)
+        frame, scanned = clock.choose_victim()
+        # Frame 0 was referenced: its bit is cleared and the hand moves on.
+        assert frame == 1
+        assert scanned == 2
+
+    def test_all_referenced_takes_two_sweeps(self):
+        clock = ClockReplacer(4)
+        for frame in range(4):
+            clock.touch(frame)
+        frame, scanned = clock.choose_victim()
+        assert frame == 0  # first frame after clearing everyone
+        assert scanned == 5
+
+    def test_pinned_frames_never_chosen(self):
+        clock = ClockReplacer(4)
+        clock.pin(0)
+        clock.pin(1)
+        victims = {clock.choose_victim()[0] for _ in range(10)}
+        assert victims <= {2, 3}
+
+    def test_all_pinned_raises(self):
+        clock = ClockReplacer(2)
+        clock.pin(0)
+        clock.pin(1)
+        with pytest.raises(SimulationError):
+            clock.choose_victim()
+
+    def test_first_frame_offset(self):
+        clock = ClockReplacer(4, first_frame=10)
+        clock.touch(10)
+        frame, _ = clock.choose_victim()
+        assert frame == 11
+
+    def test_out_of_range_frame_raises(self):
+        clock = ClockReplacer(4, first_frame=10)
+        with pytest.raises(SimulationError):
+            clock.touch(3)
+
+    def test_hand_advances_round_robin(self):
+        clock = ClockReplacer(3)
+        order = [clock.choose_victim()[0] for _ in range(6)]
+        assert order == [0, 1, 2, 0, 1, 2]
+
+    def test_unpin_restores_eligibility(self):
+        clock = ClockReplacer(2)
+        clock.pin(0)
+        clock.unpin(0)
+        victims = {clock.choose_victim()[0] for _ in range(4)}
+        assert 0 in victims
+
+
+class TestStandbyList:
+    def test_disabled_by_default_capacity_zero(self):
+        standby = StandbyList(0)
+        assert not standby.enabled
+        with pytest.raises(SimulationError):
+            standby.park(1, 2)
+
+    def test_park_and_reclaim(self):
+        standby = StandbyList(2)
+        assert standby.park(10, 0) is None
+        assert standby.reclaim(10) == 0
+        assert standby.soft_faults == 1
+        assert len(standby) == 0
+
+    def test_reclaim_missing_returns_none(self):
+        standby = StandbyList(2)
+        assert standby.reclaim(42) is None
+        assert standby.soft_faults == 0
+
+    def test_fifo_displacement(self):
+        standby = StandbyList(2)
+        standby.park(1, 100)
+        standby.park(2, 200)
+        displaced = standby.park(3, 300)
+        assert displaced == (1, 100)  # oldest goes first
+        assert standby.discards == 1
+
+    def test_pop_oldest(self):
+        standby = StandbyList(3)
+        standby.park(1, 100)
+        standby.park(2, 200)
+        assert standby.pop_oldest() == (1, 100)
+        assert standby.pop_oldest() == (2, 200)
+        assert standby.pop_oldest() is None
+
+    def test_double_park_raises(self):
+        standby = StandbyList(2)
+        standby.park(1, 100)
+        with pytest.raises(SimulationError):
+            standby.park(1, 101)
+
+    def test_contains(self):
+        standby = StandbyList(2)
+        standby.park(1, 100)
+        assert standby.contains(1)
+        assert not standby.contains(2)

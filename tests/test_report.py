@@ -1,0 +1,58 @@
+"""Tests for the text renderers."""
+
+from repro.analysis.report import (
+    format_rate,
+    format_size,
+    render_bar_chart,
+    render_table,
+)
+
+
+def test_format_rate():
+    assert format_rate(200_000_000) == "200MHz"
+    assert format_rate(4_000_000_000) == "4GHz"
+    assert format_rate(1_000_000_000) == "1GHz"
+    assert format_rate(123) == "123Hz"
+
+
+def test_format_size():
+    assert format_size(128) == "128"
+    assert format_size(4096) == "4096"
+
+
+def test_render_table_alignment():
+    text = render_table(
+        "Title",
+        headers=("a", "long_header"),
+        rows=[(1, 2.5), (100, 3.25)],
+        note="a note",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Title"
+    assert "long_header" in lines[1]
+    assert lines[-1] == "a note"
+    # All data rows align to the same width.
+    assert len(lines[3]) == len(lines[4])
+
+
+def test_render_table_formats_floats():
+    text = render_table("t", ("x",), [(1.23456,)])
+    assert "1.235" in text
+
+
+def test_render_bar_chart_scales_bars():
+    text = render_bar_chart(
+        "chart",
+        {"a": {1: 1.0, 2: 0.5}, "b": {1: 0.25}},
+        width=8,
+    )
+    lines = text.splitlines()
+    assert lines[0] == "chart"
+    bars = {line.strip().split()[0]: line.count("#") for line in lines if "|" in line}
+    assert bars["a"] == 8 or bars["a"] == 4  # first 'a' bar is full width
+    assert "b" in bars
+
+
+def test_render_bar_chart_empty_series():
+    text = render_bar_chart("empty", {"a": {}})
+    assert text == "empty"

@@ -1,0 +1,79 @@
+"""Tests for the deterministic xorshift generator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.rng import XorShiftRNG
+
+
+def test_deterministic_sequence():
+    a = XorShiftRNG(seed=42)
+    b = XorShiftRNG(seed=42)
+    assert [a.next_u64() for _ in range(100)] == [b.next_u64() for _ in range(100)]
+
+
+def test_different_seeds_differ():
+    a = XorShiftRNG(seed=1)
+    b = XorShiftRNG(seed=2)
+    assert [a.next_u64() for _ in range(8)] != [b.next_u64() for _ in range(8)]
+
+
+def test_zero_seed_is_remapped():
+    rng = XorShiftRNG(seed=0)
+    assert rng.next_u64() != 0
+
+
+def test_below_range():
+    rng = XorShiftRNG(seed=7)
+    values = [rng.below(10) for _ in range(1000)]
+    assert all(0 <= v < 10 for v in values)
+    assert set(values) == set(range(10))  # all buckets reached
+
+
+def test_below_one_is_always_zero():
+    rng = XorShiftRNG(seed=3)
+    assert all(rng.below(1) == 0 for _ in range(20))
+
+
+def test_below_rejects_nonpositive():
+    rng = XorShiftRNG()
+    with pytest.raises(ValueError):
+        rng.below(0)
+    with pytest.raises(ValueError):
+        rng.below(-5)
+
+
+def test_coin_produces_both_faces():
+    rng = XorShiftRNG(seed=11)
+    flips = {rng.coin() for _ in range(100)}
+    assert flips == {True, False}
+
+
+def test_fork_produces_independent_streams():
+    parent = XorShiftRNG(seed=5)
+    child = parent.fork()
+    parent_vals = [parent.next_u64() for _ in range(10)]
+    child_vals = [child.next_u64() for _ in range(10)]
+    assert parent_vals != child_vals
+
+
+def test_fork_is_deterministic():
+    children = []
+    for _ in range(2):
+        parent = XorShiftRNG(seed=5)
+        children.append(parent.fork().next_u64())
+    assert children[0] == children[1]
+
+
+@given(st.integers(min_value=0, max_value=2**70))
+def test_values_stay_in_64_bits(seed):
+    rng = XorShiftRNG(seed)
+    for _ in range(5):
+        assert 0 <= rng.next_u64() < 2**64
+
+
+@given(st.integers(min_value=1, max_value=1000), st.integers())
+def test_below_always_in_bound(bound, seed):
+    rng = XorShiftRNG(seed)
+    for _ in range(10):
+        assert 0 <= rng.below(bound) < bound

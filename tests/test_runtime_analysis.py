@@ -1,0 +1,143 @@
+"""Tests for RunRecord / RunGrid / derived figures."""
+
+import pytest
+
+from repro.analysis.fractions import dram_fraction_series, level_fraction_rows
+from repro.analysis.overheads import overhead_rows, overhead_series
+from repro.analysis.relative import relative_speed_rows
+from repro.analysis.runtime import RunGrid, RunRecord, best_cell, speedup
+from repro.core.errors import ConfigurationError
+
+
+def record(label="g", rate=10**9, size=128, seconds=1.0, tlb_refs=0, refs=1000):
+    return RunRecord(
+        label=label,
+        kind="conventional",
+        issue_rate_hz=rate,
+        size_bytes=size,
+        switch_on_miss=False,
+        seconds=seconds,
+        time_ps=int(seconds * 1e12),
+        stats={
+            "ifetches": refs,
+            "reads": 0,
+            "writes": 0,
+            "tlb_handler_refs": tlb_refs,
+            "fault_handler_refs": 0,
+            "level_times": {
+                "l1i": int(seconds * 0.5e12),
+                "l1d": 0,
+                "l2": int(seconds * 0.2e12),
+                "dram": int(seconds * 0.3e12),
+                "other": 0,
+            },
+        },
+    )
+
+
+class TestRunRecord:
+    def test_round_trip_dict(self):
+        rec = record()
+        assert RunRecord.from_dict(rec.as_dict()) == rec
+
+    def test_level_fractions(self):
+        fractions = record().level_fractions
+        assert fractions["l1i"] == pytest.approx(0.5)
+        assert fractions["dram"] == pytest.approx(0.3)
+
+    def test_overhead_ratio(self):
+        rec = record(tlb_refs=250, refs=1000)
+        assert rec.overhead_ratio == 0.25
+
+    def test_zero_refs_overhead(self):
+        rec = record(refs=0)
+        assert rec.overhead_ratio == 0.0
+
+
+class TestRunGrid:
+    def test_add_and_fetch(self):
+        grid = RunGrid("g")
+        grid.add(record(size=128))
+        grid.add(record(size=256, seconds=2.0))
+        assert grid.cell(10**9, 128).seconds == 1.0
+        assert grid.sizes() == [128, 256]
+        assert grid.issue_rates() == [10**9]
+
+    def test_duplicate_cell_rejected(self):
+        grid = RunGrid("g")
+        grid.add(record())
+        with pytest.raises(ConfigurationError):
+            grid.add(record())
+
+    def test_missing_cell_raises(self):
+        grid = RunGrid("g")
+        with pytest.raises(ConfigurationError):
+            grid.cell(10**9, 128)
+
+    def test_row_ordering(self):
+        grid = RunGrid("g")
+        for size in (512, 128, 256):
+            grid.add(record(size=size))
+        assert [r.size_bytes for r in grid.row(10**9)] == [128, 256, 512]
+
+    def test_best_cell(self):
+        grid = RunGrid("g")
+        grid.add(record(size=128, seconds=2.0))
+        grid.add(record(size=256, seconds=1.0))
+        assert best_cell(grid, 10**9).size_bytes == 256
+
+    def test_speedup(self):
+        slower = record(size=128, seconds=1.26)
+        faster = record(size=256, seconds=1.0)
+        assert speedup(slower, faster) == pytest.approx(0.26)
+
+
+class TestDerivedFigures:
+    def make_grids(self):
+        a = RunGrid("baseline")
+        b = RunGrid("rampage")
+        a.add(record(label="baseline", size=128, seconds=1.0, tlb_refs=100))
+        a.add(record(label="baseline", size=256, seconds=1.5, tlb_refs=100))
+        b.add(record(label="rampage", size=128, seconds=2.0, tlb_refs=600))
+        b.add(record(label="rampage", size=256, seconds=1.2, tlb_refs=200))
+        return a, b
+
+    def test_level_fraction_rows(self):
+        grid, _ = self.make_grids()
+        rows = level_fraction_rows(grid, 10**9)
+        assert [row["size_bytes"] for row in rows] == [128, 256]
+        for row in rows:
+            total = row["l1i"] + row["l1d"] + row["l2"] + row["dram"] + row["other"]
+            assert total == pytest.approx(1.0)
+
+    def test_dram_fraction_series(self):
+        grid, _ = self.make_grids()
+        series = dram_fraction_series(grid, 10**9)
+        assert series[128] == pytest.approx(0.3)
+
+    def test_overhead_rows(self):
+        grids = list(self.make_grids())
+        rows = overhead_rows(grids, 10**9)
+        assert rows[0]["baseline"] == pytest.approx(0.1)
+        assert rows[0]["rampage"] == pytest.approx(0.6)
+
+    def test_overhead_series(self):
+        _, grid = self.make_grids()
+        series = overhead_series(grid, 10**9)
+        assert series[256] == pytest.approx(0.2)
+
+    def test_relative_speed_rows(self):
+        grids = list(self.make_grids())
+        rows = relative_speed_rows(grids, 10**9)
+        # Best time overall is 1.0 s (baseline at 128).
+        assert rows[0]["baseline"] == pytest.approx(0.0)
+        assert rows[0]["rampage"] == pytest.approx(1.0)
+        assert rows[1]["rampage"] == pytest.approx(0.2)
+
+    def test_relative_speed_series(self):
+        from repro.analysis.relative import relative_speed_series
+
+        grids = list(self.make_grids())
+        series = relative_speed_series(grids, [10**9])
+        assert series["baseline"][10**9][128] == pytest.approx(0.0)
+        assert series["rampage"][10**9][256] == pytest.approx(0.2)

@@ -1,0 +1,34 @@
+"""Tests for the switching policy."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.ossim.scheduler import SwitchPolicy
+
+
+def test_none_policy():
+    policy = SwitchPolicy.none()
+    assert not policy.scheduled and not policy.on_miss
+
+
+def test_scheduled_only():
+    policy = SwitchPolicy.scheduled_only()
+    assert policy.scheduled and not policy.on_miss
+
+
+def test_switch_on_miss_implies_scheduled():
+    policy = SwitchPolicy.switch_on_miss()
+    assert policy.scheduled and policy.on_miss
+
+
+def test_on_miss_requires_rampage():
+    policy = SwitchPolicy.switch_on_miss()
+    with pytest.raises(ConfigurationError):
+        policy.validate_for("conventional")
+    policy.validate_for("rampage")  # no error
+
+
+def test_scheduled_valid_for_both():
+    policy = SwitchPolicy.scheduled_only()
+    policy.validate_for("conventional")
+    policy.validate_for("rampage")

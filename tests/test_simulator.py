@@ -1,0 +1,100 @@
+"""Tests for the simulation driver."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.systems.factory import (
+    baseline_machine,
+    build_system,
+    rampage_machine,
+    twoway_machine,
+)
+from repro.systems.simulator import Simulator, simulate
+from repro.trace.benchmarks import table2_catalog
+from repro.trace.interleave import InterleavedWorkload
+from repro.trace.synthetic import SyntheticProgram
+
+
+def programs(n=3, refs=2000):
+    specs = list(table2_catalog().values())
+    return [
+        SyntheticProgram(specs[i], total_refs=refs, pid=i, seed=i, chunk_refs=256)
+        for i in range(n)
+    ]
+
+
+def test_consumes_whole_workload():
+    result = simulate(baseline_machine(issue_rate_hz=10**9), programs(), slice_refs=500)
+    assert result.stats.workload_refs == 6000
+
+
+def test_max_refs_stops_early():
+    result = simulate(
+        baseline_machine(issue_rate_hz=10**9),
+        programs(),
+        slice_refs=500,
+        max_refs=1500,
+    )
+    assert 1500 <= result.stats.workload_refs < 2100
+
+
+def test_max_refs_rejects_nonpositive():
+    system = build_system(baseline_machine(issue_rate_hz=10**9))
+    sim = Simulator(system, InterleavedWorkload(programs(), slice_refs=500))
+    with pytest.raises(ConfigurationError):
+        sim.run(max_refs=0)
+
+
+def test_scheduled_switches_between_slices():
+    # 3 programs x 2000 refs, 500-ref slices -> 12 slices, 11 boundaries.
+    result = simulate(
+        twoway_machine(issue_rate_hz=10**9, scheduled_switches=True),
+        programs(),
+        slice_refs=500,
+    )
+    assert result.stats.context_switches == 11
+    assert result.stats.switch_refs == 11 * 400
+
+
+def test_no_switch_trace_when_disabled():
+    result = simulate(
+        baseline_machine(issue_rate_hz=10**9, scheduled_switches=False),
+        programs(),
+        slice_refs=500,
+    )
+    assert result.stats.context_switches == 0
+
+
+def test_switch_on_miss_preempts_and_still_consumes_everything():
+    system = build_system(
+        rampage_machine(issue_rate_hz=10**9, page_bytes=128, switch_on_miss=True)
+    )
+    sim = Simulator(system, InterleavedWorkload(programs(), slice_refs=500))
+    result = sim.run()
+    assert result.stats.workload_refs == 6000
+    assert sim.preemptions > 0
+    assert result.stats.switches_on_miss == sim.preemptions
+
+
+def test_switch_on_miss_does_not_double_count_switch_traces():
+    system = build_system(
+        rampage_machine(issue_rate_hz=10**9, page_bytes=128, switch_on_miss=True)
+    )
+    sim = Simulator(system, InterleavedWorkload(programs(), slice_refs=500))
+    result = sim.run()
+    # Scheduled boundaries contribute at most (slices - 1) switches on
+    # top of the on-miss ones; preempted boundaries are not re-charged.
+    scheduled = result.stats.context_switches - result.stats.switches_on_miss
+    assert scheduled <= 11
+
+
+def test_deterministic_repeat():
+    results = [
+        simulate(
+            rampage_machine(issue_rate_hz=10**9, page_bytes=256),
+            programs(),
+            slice_refs=500,
+        ).time_ps
+        for _ in range(2)
+    ]
+    assert results[0] == results[1]

@@ -1,0 +1,149 @@
+"""Tests for the RAMpage SRAM main memory."""
+
+import pytest
+
+from repro.core.params import KIB, MIB, RampageParams
+from repro.mem.inverted_page_table import FREE
+from repro.mem.sram_memory import SramMainMemory
+
+
+def small_memory(page_bytes=1 * KIB, standby=0, base_kib=64):
+    """A tiny SRAM so faults and replacement happen quickly."""
+    params = RampageParams(
+        page_bytes=page_bytes,
+        base_bytes=base_kib * KIB,
+        pinned_code_data_bytes=2 * KIB,
+        ipt_entry_bytes=16,
+        standby_pages=standby,
+    )
+    return SramMainMemory(params)
+
+
+class TestResidency:
+    def test_initially_empty(self):
+        sram = small_memory()
+        assert sram.resident_pages() == 0
+        assert sram.translate(42)[0] == FREE
+
+    def test_fault_installs_page(self):
+        sram = small_memory()
+        outcome = sram.fault(42)
+        assert outcome.frame >= sram.pinned_frames
+        assert not outcome.soft
+        assert not outcome.reused
+        frame, _ = sram.translate(42)
+        assert frame == outcome.frame
+
+    def test_free_frames_consumed_first(self):
+        sram = small_memory()
+        free_before = sram.free_frames()
+        outcomes = [sram.fault(vpn) for vpn in range(free_before)]
+        assert all(o.unmapped_vpn is None for o in outcomes)
+        assert sram.free_frames() == 0
+
+    def test_eviction_after_memory_full(self):
+        sram = small_memory()
+        capacity = sram.free_frames()
+        for vpn in range(capacity):
+            sram.fault(vpn)
+        outcome = sram.fault(capacity)
+        assert outcome.unmapped_vpn is not None
+        assert outcome.reused
+        assert sram.translate(outcome.unmapped_vpn)[0] == FREE
+
+    def test_dirty_victim_requests_writeback(self):
+        sram = small_memory()
+        capacity = sram.free_frames()
+        outcomes = {vpn: sram.fault(vpn) for vpn in range(capacity)}
+        for outcome in outcomes.values():
+            sram.mark_dirty(outcome.frame)
+        new_outcome = sram.fault(capacity)
+        assert new_outcome.writeback_vpn == new_outcome.unmapped_vpn
+        assert new_outcome.writeback_frame == new_outcome.frame
+
+    def test_clean_victim_no_writeback(self):
+        sram = small_memory()
+        capacity = sram.free_frames()
+        for vpn in range(capacity):
+            sram.fault(vpn)
+        outcome = sram.fault(capacity)
+        assert outcome.writeback_vpn is None
+        assert outcome.reused  # frame still held the old page
+
+    def test_touch_protects_from_clock(self):
+        sram = small_memory()
+        capacity = sram.free_frames()
+        outcomes = {vpn: sram.fault(vpn) for vpn in range(capacity)}
+        # One fault sweeps the clock, clearing every install-time
+        # referenced bit; after that a touch gives real protection.
+        sram.fault(capacity)
+        protected = 1
+        sram.touch(outcomes[protected].frame)
+        outcome = sram.fault(capacity + 1)
+        assert outcome.unmapped_vpn != protected
+
+    def test_fault_counter(self):
+        sram = small_memory()
+        sram.fault(1)
+        sram.fault(2)
+        assert sram.faults == 2
+
+
+class TestStandby:
+    def test_soft_fault_reclaims_without_dram(self):
+        sram = small_memory(standby=4)
+        capacity = sram.free_frames()
+        for vpn in range(capacity):
+            sram.fault(vpn)
+        first_evict = sram.fault(capacity)
+        parked = first_evict.unmapped_vpn
+        assert parked is not None
+        outcome = sram.fault(parked)  # fault the parked page back
+        assert outcome.soft
+        assert sram.translate(parked)[0] == outcome.frame
+
+    def test_standby_reserves_frames_up_front(self):
+        plain = small_memory(standby=0)
+        parked = small_memory(standby=4)
+        assert parked.free_frames() == plain.free_frames() - 4
+
+    def test_standby_discard_frees_oldest(self):
+        sram = small_memory(standby=2)
+        capacity = sram.free_frames()
+        for vpn in range(capacity):
+            sram.fault(vpn)
+        evicted = []
+        for vpn in range(capacity, capacity + 5):
+            outcome = sram.fault(vpn)
+            assert not outcome.soft
+            evicted.append(outcome.unmapped_vpn)
+        # The standby list keeps the last two parked pages reclaimable;
+        # older evictions have been truly discarded.
+        assert sram.standby.contains(evicted[-1])
+        assert sram.standby.contains(evicted[-2])
+        assert not sram.standby.contains(evicted[0])
+
+    def test_invariants_with_standby_churn(self):
+        sram = small_memory(standby=3)
+        for vpn in range(300):
+            sram.fault(vpn % 97)
+            if vpn % 13 == 0:
+                sram.check_invariants()
+        sram.check_invariants()
+
+
+class TestInvariants:
+    def test_invariants_after_heavy_churn(self):
+        sram = small_memory()
+        for vpn in range(500):
+            frame, _ = sram.translate(vpn % 131)
+            if frame == FREE:
+                sram.fault(vpn % 131)
+        sram.check_invariants()
+
+    def test_paper_sized_memory_geometry(self):
+        params = RampageParams(page_bytes=4 * KIB)
+        sram = SramMainMemory(params)
+        assert sram.num_frames == params.total_bytes // (4 * KIB)
+        # Paper: 6 pages of OS residency at 4 KB (our linear model: 7).
+        assert 6 <= sram.pinned_frames <= 7

@@ -1,0 +1,63 @@
+"""Tests for counters and level-time breakdown."""
+
+import pytest
+
+from repro.core.stats import LevelTimes, SimStats
+
+
+class TestLevelTimes:
+    def test_total(self):
+        lt = LevelTimes()
+        lt.l1i = 10
+        lt.dram = 30
+        assert lt.total == 40
+
+    def test_fractions_sum_to_one(self):
+        lt = LevelTimes()
+        lt.l1i, lt.l1d, lt.l2, lt.dram = 1, 2, 3, 4
+        fractions = lt.fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions["dram"] == pytest.approx(0.4)
+
+    def test_empty_fractions_are_zero(self):
+        assert all(v == 0.0 for v in LevelTimes().fractions().values())
+
+    def test_as_dict_keys(self):
+        assert set(LevelTimes().as_dict()) == {"l1i", "l1d", "l2", "dram", "other"}
+
+
+class TestSimStats:
+    def test_workload_refs(self):
+        stats = SimStats(ifetches=10, reads=5, writes=3)
+        assert stats.workload_refs == 18
+
+    def test_overhead_excludes_switch_refs(self):
+        """Figure 4 counts TLB + fault handler refs only."""
+        stats = SimStats(
+            ifetches=100,
+            tlb_handler_refs=30,
+            fault_handler_refs=20,
+            switch_refs=400,
+        )
+        assert stats.overhead_refs == 50
+        assert stats.overhead_ratio == pytest.approx(0.5)
+
+    def test_overhead_ratio_zero_refs(self):
+        assert SimStats().overhead_ratio == 0.0
+
+    def test_miss_rates(self):
+        stats = SimStats(l1i_hits=90, l1i_misses=10, tlb_hits=3, tlb_misses=1)
+        assert stats.miss_rate("l1i") == pytest.approx(0.1)
+        assert stats.miss_rate("tlb") == pytest.approx(0.25)
+        assert stats.miss_rate("l2") == 0.0  # no references yet
+
+    def test_miss_rate_unknown_level(self):
+        with pytest.raises(KeyError):
+            SimStats().miss_rate("l9")
+
+    def test_as_dict_round_trips_level_times(self):
+        stats = SimStats()
+        stats.level_times.dram = 123
+        data = stats.as_dict()
+        assert data["level_times"]["dram"] == 123
+        assert data["total_time_ps"] == 123

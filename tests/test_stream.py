@@ -1,0 +1,50 @@
+"""Tests for stream utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TraceFormatError
+from repro.trace import stream
+from repro.trace.record import IFETCH, READ, Reference, TraceChunk
+
+
+def chunk_of(n, pid=0, kind=READ, start=0):
+    return TraceChunk(
+        pid=pid,
+        kinds=np.full(n, kind, dtype=np.uint8),
+        addrs=np.arange(start, start + n, dtype=np.uint64),
+    )
+
+
+def test_take_truncates_final_chunk():
+    chunks = [chunk_of(10), chunk_of(10, start=10)]
+    taken = list(stream.take(iter(chunks), 15))
+    assert [len(c) for c in taken] == [10, 5]
+
+
+def test_take_zero_yields_nothing():
+    assert list(stream.take(iter([chunk_of(5)]), 0)) == []
+
+
+def test_count_references():
+    assert stream.count_references([chunk_of(3), chunk_of(4)]) == 7
+
+
+def test_concat_single_pid():
+    merged = stream.concat([chunk_of(3), chunk_of(2, start=3)])
+    assert len(merged) == 5
+    assert list(merged.addrs) == [0, 1, 2, 3, 4]
+
+
+def test_concat_empty():
+    assert len(stream.concat([])) == 0
+
+
+def test_concat_mixed_pids_raises():
+    with pytest.raises(TraceFormatError):
+        stream.concat([chunk_of(2, pid=0), chunk_of(2, pid=1)])
+
+
+def test_kind_histogram():
+    chunks = [chunk_of(3, kind=READ), chunk_of(2, kind=IFETCH)]
+    assert stream.kind_histogram(chunks) == {READ: 3, IFETCH: 2}

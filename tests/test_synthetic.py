@@ -1,0 +1,124 @@
+"""Tests for the synthetic program generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.trace.benchmarks import table2_catalog
+from repro.trace.record import IFETCH, READ, WRITE
+from repro.trace.synthetic import (
+    ARRAY_BASE,
+    CHASE_BASE,
+    CODE_BASE,
+    HOT_BASE,
+    STACK_BASE,
+    SyntheticProgram,
+    build_program,
+    build_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def gcc_chunks():
+    spec = table2_catalog()["gcc"]
+    program = SyntheticProgram(spec, total_refs=50_000, pid=3, seed=1)
+    return list(program.chunks())
+
+
+def test_total_refs_exact(gcc_chunks):
+    assert sum(len(c) for c in gcc_chunks) == 50_000
+
+
+def test_pid_stamped(gcc_chunks):
+    assert all(chunk.pid == 3 for chunk in gcc_chunks)
+
+
+def test_ifetch_fraction_matches_catalog(gcc_chunks):
+    spec = table2_catalog()["gcc"]
+    ifetch = sum(int(np.count_nonzero(c.kinds == IFETCH)) for c in gcc_chunks)
+    total = sum(len(c) for c in gcc_chunks)
+    assert ifetch / total == pytest.approx(spec.ifetch_fraction, abs=0.02)
+
+
+def test_write_fraction_of_data_refs(gcc_chunks):
+    spec = table2_catalog()["gcc"]
+    writes = sum(int(np.count_nonzero(c.kinds == WRITE)) for c in gcc_chunks)
+    reads = sum(int(np.count_nonzero(c.kinds == READ)) for c in gcc_chunks)
+    assert writes / (writes + reads) == pytest.approx(spec.write_fraction, abs=0.03)
+
+
+def test_ifetches_land_in_code_region(gcc_chunks):
+    spec = table2_catalog()["gcc"]
+    for chunk in gcc_chunks:
+        code = chunk.addrs[chunk.kinds == IFETCH]
+        assert code.min() >= CODE_BASE
+        assert code.max() < CODE_BASE + spec.code_bytes
+
+
+def test_data_lands_in_data_regions(gcc_chunks):
+    spec = table2_catalog()["gcc"]
+    regions = [
+        (ARRAY_BASE, spec.array_bytes),
+        (HOT_BASE, spec.hot_bytes),
+        (CHASE_BASE, spec.chase_bytes),
+        (STACK_BASE, spec.stack_bytes),
+    ]
+    for chunk in gcc_chunks:
+        data = chunk.addrs[chunk.kinds != IFETCH]
+        in_any = np.zeros(len(data), dtype=bool)
+        for base, size in regions:
+            in_any |= (data >= base) & (data < base + size)
+        assert in_any.all()
+
+
+def test_deterministic_across_restarts():
+    spec = table2_catalog()["sed"]
+    program = SyntheticProgram(spec, total_refs=10_000, seed=7)
+    first = np.concatenate([c.addrs for c in program.chunks()])
+    second = np.concatenate([c.addrs for c in program.chunks()])
+    assert np.array_equal(first, second)
+
+
+def test_different_seeds_differ():
+    spec = table2_catalog()["sed"]
+    a = np.concatenate(
+        [c.addrs for c in SyntheticProgram(spec, 5_000, seed=1).chunks()]
+    )
+    b = np.concatenate(
+        [c.addrs for c in SyntheticProgram(spec, 5_000, seed=2).chunks()]
+    )
+    assert not np.array_equal(a, b)
+
+
+def test_chunk_size_respected():
+    spec = table2_catalog()["sed"]
+    program = SyntheticProgram(spec, total_refs=10_000, chunk_refs=1024)
+    sizes = [len(c) for c in program.chunks()]
+    assert all(size <= 1024 for size in sizes)
+    assert sum(sizes) == 10_000
+
+
+def test_build_program_scale():
+    spec = table2_catalog()["yacc"]  # 12.1 M refs
+    program = build_program(spec, scale=0.001)
+    assert program.total_refs == 12_100
+
+
+def test_build_program_rejects_bad_scale():
+    spec = table2_catalog()["yacc"]
+    with pytest.raises(ConfigurationError):
+        build_program(spec, scale=0)
+
+
+def test_build_workload_distinct_pids_and_seeds():
+    programs = build_workload(scale=0.0001, seed=5)
+    assert len(programs) == 18
+    assert sorted(p.pid for p in programs) == list(range(18))
+    assert len({p.seed for p in programs}) == 18
+
+
+def test_workload_total_matches_catalog_scale():
+    programs = build_workload(scale=0.0001)
+    total = sum(p.total_refs for p in programs)
+    # 1093.1 M * 0.0001, within rounding of 18 programs.
+    assert total == pytest.approx(109_310, abs=18)

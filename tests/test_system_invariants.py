@@ -1,0 +1,125 @@
+"""Cross-component invariants held under random workloads.
+
+These are the structural properties the timing model relies on:
+
+* **Inclusion** (conventional): every L1-resident block's enclosing L2
+  block is resident (modulo nothing -- dirty L1 blocks still have an L2
+  home).
+* **Residency** (RAMpage): every L1-resident block belongs to a pinned
+  frame or a mapped SRAM page, and every TLB entry maps a resident page.
+* Time monotonicity and conservation: total time equals the sum of the
+  per-level buckets.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.params import (
+    KIB,
+    MIB,
+    CacheParams,
+    HandlerCosts,
+    MachineParams,
+    RampageParams,
+)
+from repro.systems.factory import build_system
+from repro.trace.record import TraceChunk
+
+
+def random_chunk(seed, length=600, pid=0):
+    rng = np.random.default_rng(seed)
+    kinds = rng.choice([0, 1, 2], size=length, p=[0.2, 0.1, 0.7]).astype(np.uint8)
+    addrs = (rng.integers(0, 256 * KIB, size=length, dtype=np.int64) // 4 * 4).astype(
+        np.uint64
+    )
+    return TraceChunk(pid=pid, kinds=kinds, addrs=addrs)
+
+
+def check_inclusion(system):
+    l2_bits = system._l2_block_bits
+    l1_bits = system._l1_block_bits
+    shift = l2_bits - l1_bits
+    for cache in (system.l1i, system.l1d):
+        for block in cache.resident_blocks():
+            assert system.l2.lookup(block >> shift), (
+                f"L1 block {block:#x} has no L2 home"
+            )
+
+
+def check_rampage_residency(system):
+    shift = system._page_bits - system._l1_block_bits
+    pinned = system.sram.pinned_frames
+    for cache in (system.l1i, system.l1d):
+        for block in cache.resident_blocks():
+            frame = block >> shift
+            if frame < pinned:
+                continue  # OS frame, always valid
+            # Frame must be mapped, parked on standby, or pending reuse;
+            # a mapped frame is the common case.
+            assert frame < system.sram.num_frames
+    for set_map in system.tlb._maps:
+        for gvpn, frame in set_map.items():
+            assert system.sram.ipt.vpn_of(frame) == gvpn
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_conventional_inclusion_invariant(seed):
+    params = MachineParams(
+        kind="conventional",
+        issue_rate_hz=10**9,
+        l2=CacheParams(256 * KIB, 512, associativity=1),
+        handlers=HandlerCosts(),
+    )
+    system = build_system(params)
+    for i in range(3):
+        system.run_chunk(random_chunk(seed + i, pid=i))
+    check_inclusion(system)
+    lt = system.stats.level_times
+    assert system.clock.now_ps == lt.total
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_rampage_residency_invariant(seed):
+    params = MachineParams(
+        kind="rampage",
+        issue_rate_hz=10**9,
+        rampage=RampageParams(
+            page_bytes=256,
+            base_bytes=64 * KIB,
+            pinned_code_data_bytes=2 * KIB,
+            ipt_entry_bytes=16,
+        ),
+        handlers=HandlerCosts(),
+    )
+    system = build_system(params)
+    for i in range(3):
+        system.run_chunk(random_chunk(seed + i, pid=i))
+    check_rampage_residency(system)
+    system.sram.check_invariants()
+    system.tlb.check_invariants()
+    lt = system.stats.level_times
+    assert system.clock.now_ps == lt.total
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_time_is_monotone_across_accesses(seed):
+    params = MachineParams(
+        kind="rampage",
+        issue_rate_hz=10**9,
+        rampage=RampageParams(
+            page_bytes=128,
+            base_bytes=32 * KIB,
+            pinned_code_data_bytes=2 * KIB,
+            ipt_entry_bytes=16,
+        ),
+    )
+    system = build_system(params)
+    chunk = random_chunk(seed, length=300)
+    last = 0
+    for kind, addr in zip(chunk.kinds.tolist(), chunk.addrs.tolist()):
+        system.access(kind, addr, chunk.pid)
+        assert system.clock.now_ps >= last
+        last = system.clock.now_ps

@@ -1,0 +1,92 @@
+"""Tests for three-Cs miss classification."""
+
+import pytest
+
+from repro.analysis.three_cs import ThreeCsProbe, ThreeCsResult, classify_l2_misses
+from repro.core.errors import ConfigurationError
+from repro.core.params import MIB, CacheParams, MachineParams
+from repro.systems.factory import baseline_machine, rampage_machine, twoway_machine
+from repro.trace.benchmarks import TABLE2_PROGRAMS
+from repro.trace.synthetic import SyntheticProgram
+
+
+class TestProbe:
+    def test_first_touch_is_compulsory(self):
+        probe = ThreeCsProbe(capacity_blocks=4)
+        probe.observe(1, real_hit=False)
+        result = probe.result()
+        assert result.compulsory == 1
+        assert result.capacity == 0 and result.conflict == 0
+
+    def test_conflict_miss(self):
+        """A revisit that the LRU-full model holds but the real cache
+        missed is a conflict miss."""
+        probe = ThreeCsProbe(capacity_blocks=4)
+        probe.observe(1, real_hit=False)  # compulsory
+        probe.observe(2, real_hit=False)  # compulsory
+        probe.observe(1, real_hit=False)  # still in LRU(4): conflict
+        assert probe.result().conflict == 1
+
+    def test_capacity_miss(self):
+        """A revisit evicted even from the LRU-full model is capacity."""
+        probe = ThreeCsProbe(capacity_blocks=2)
+        for block in (1, 2, 3):  # 1 falls out of the 2-entry LRU
+            probe.observe(block, real_hit=False)
+        probe.observe(1, real_hit=False)
+        assert probe.result().capacity == 1
+
+    def test_hits_counted(self):
+        probe = ThreeCsProbe(capacity_blocks=4)
+        probe.observe(1, real_hit=False)
+        probe.observe(1, real_hit=True)
+        result = probe.result()
+        assert result.hits == 1
+        assert result.accesses == 2
+
+    def test_result_accounting(self):
+        probe = ThreeCsProbe(capacity_blocks=2)
+        for block, hit in ((1, False), (2, False), (1, True), (3, False), (1, False)):
+            probe.observe(block, hit)
+        result = probe.result()
+        assert result.misses + result.hits == result.accesses
+        assert result.miss_rate == pytest.approx(4 / 5)
+
+    def test_fraction_validates_kind(self):
+        result = ThreeCsResult(10, 5, 3, 1, 1)
+        assert result.fraction("compulsory") == pytest.approx(0.6)
+        with pytest.raises(ConfigurationError):
+            result.fraction("weird")
+
+
+class TestClassifyL2:
+    def programs(self):
+        return [
+            SyntheticProgram(TABLE2_PROGRAMS[i], total_refs=6_000, pid=i, seed=i)
+            for i in range(4)
+        ]
+
+    def small_baseline(self, assoc=1):
+        return MachineParams(
+            kind="conventional",
+            issue_rate_hz=10**9,
+            l2=CacheParams(128 * 1024, 512, associativity=assoc),
+        )
+
+    def test_classification_is_exhaustive(self):
+        result = classify_l2_misses(self.small_baseline(), self.programs(), 2_000)
+        assert result.accesses > 0
+        assert result.hits + result.misses == result.accesses
+
+    def test_direct_mapped_has_conflicts_two_way_fewer(self):
+        direct = classify_l2_misses(self.small_baseline(1), self.programs(), 2_000)
+        twoway = classify_l2_misses(self.small_baseline(2), self.programs(), 2_000)
+        assert direct.conflict > 0
+        assert twoway.conflict < direct.conflict
+        # Compulsory misses are a property of the stream, not the cache.
+        assert abs(twoway.compulsory - direct.compulsory) <= direct.compulsory * 0.05
+
+    def test_rejects_rampage(self):
+        with pytest.raises(ConfigurationError):
+            classify_l2_misses(
+                rampage_machine(10**9, 512), self.programs(), 2_000
+            )

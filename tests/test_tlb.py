@@ -1,0 +1,135 @@
+"""Tests for the TLB."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.params import TlbParams
+from repro.core.rng import XorShiftRNG
+from repro.mem.tlb import TLB
+
+
+def make_tlb(entries=8, associativity=0, seed=1):
+    return TLB(TlbParams(entries=entries, associativity=associativity), XorShiftRNG(seed))
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        tlb = make_tlb()
+        assert tlb.lookup(5) is None
+        tlb.insert(5, 77)
+        assert tlb.lookup(5) == 77
+        assert tlb.hits == 1
+        assert tlb.misses == 1
+
+    def test_insert_updates_existing(self):
+        tlb = make_tlb()
+        tlb.insert(5, 1)
+        assert tlb.insert(5, 2) is None
+        assert tlb.lookup(5) == 2
+        assert len(tlb) == 1
+
+    def test_capacity_eviction(self):
+        tlb = make_tlb(entries=4)
+        for vpn in range(4):
+            assert tlb.insert(vpn, vpn) is None
+        evicted = tlb.insert(99, 99)
+        assert evicted in range(4)
+        assert len(tlb) == 4
+        assert tlb.peek(evicted) is None
+
+    def test_peek_does_not_count(self):
+        tlb = make_tlb()
+        tlb.peek(3)
+        assert tlb.hits == 0 and tlb.misses == 0
+
+
+class TestFlush:
+    def test_flush_vpn(self):
+        tlb = make_tlb()
+        tlb.insert(5, 1)
+        assert tlb.flush_vpn(5)
+        assert tlb.peek(5) is None
+        assert not tlb.flush_vpn(5)
+        assert tlb.flushes == 1
+
+    def test_flush_all(self):
+        tlb = make_tlb()
+        for vpn in range(6):
+            tlb.insert(vpn, vpn)
+        assert tlb.flush_all() == 6
+        assert len(tlb) == 0
+
+    def test_reinsert_after_flush(self):
+        tlb = make_tlb(entries=4)
+        for vpn in range(4):
+            tlb.insert(vpn, vpn)
+        tlb.flush_vpn(2)
+        assert tlb.insert(9, 9) is None  # freed slot reused, no eviction
+
+
+class TestSetAssociative:
+    def _colliders(self, tlb, count):
+        """First `count` vpns hashing to the same set as vpn 0."""
+        target = tlb._set_of(0)
+        found = [0]
+        vpn = 1
+        while len(found) < count:
+            if tlb._set_of(vpn) == target:
+                found.append(vpn)
+            vpn += 1
+        return found
+
+    def test_two_way_set_conflict(self):
+        tlb = make_tlb(entries=8, associativity=2)  # 4 sets
+        a, b, c = self._colliders(tlb, 3)
+        tlb.insert(a, a)
+        tlb.insert(b, b)
+        evicted = tlb.insert(c, c)
+        assert evicted in (a, b)
+        assert tlb.peek(c) == c
+
+    def test_different_sets_do_not_conflict(self):
+        tlb = make_tlb(entries=8, associativity=2)  # 4 sets
+        # Pick one vpn per set: all four coexist without eviction.
+        per_set = {}
+        vpn = 0
+        while len(per_set) < 4:
+            per_set.setdefault(tlb._set_of(vpn), vpn)
+            vpn += 1
+        for v in per_set.values():
+            assert tlb.insert(v, v) is None
+        assert all(tlb.peek(v) == v for v in per_set.values())
+
+    def test_hashed_index_spreads_shared_region_bases(self):
+        """Regression: 18 processes' identical stack vpns must not all
+        land in one set (the low-bit-indexing artifact)."""
+        tlb = make_tlb(entries=1024, associativity=2)  # 512 sets
+        stack_vpn = 0x7000_0000 >> 12
+        sets = {tlb._set_of((pid << 20) | stack_vpn) for pid in range(18)}
+        assert len(sets) >= 12
+
+    def test_future_work_tlb_shape(self):
+        tlb = make_tlb(entries=1024, associativity=2)
+        assert tlb.num_sets == 512
+
+
+@settings(max_examples=50)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=100), st.booleans()),
+        max_size=200,
+    ),
+    entries=st.sampled_from([4, 16, 64]),
+    assoc=st.sampled_from([0, 2]),
+)
+def test_property_invariants_hold(ops, entries, assoc):
+    """Random insert/flush sequences never corrupt internal state."""
+    tlb = make_tlb(entries=entries, associativity=assoc, seed=9)
+    for vpn, is_flush in ops:
+        if is_flush:
+            tlb.flush_vpn(vpn)
+        else:
+            if tlb.lookup(vpn) is None:
+                tlb.insert(vpn, vpn * 3)
+        tlb.check_invariants()
+    assert len(tlb) <= entries

@@ -1,0 +1,57 @@
+"""Tests for the victim buffer."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.mem.victim import VictimBuffer
+
+
+def test_disabled_buffer_lookups_return_none():
+    buffer = VictimBuffer(0)
+    assert not buffer.enabled
+    assert buffer.lookup_remove(5) is None
+    assert buffer.hits == 0 and buffer.misses == 0
+
+
+def test_insert_and_hit():
+    buffer = VictimBuffer(4)
+    assert buffer.insert(5, dirty=True) is None
+    assert buffer.lookup_remove(5) is True
+    assert buffer.hits == 1
+    assert not buffer.contains(5)  # hit removes the entry
+
+
+def test_miss_counts():
+    buffer = VictimBuffer(4)
+    assert buffer.lookup_remove(9) is None
+    assert buffer.misses == 1
+
+
+def test_fifo_displacement_returns_oldest():
+    buffer = VictimBuffer(2)
+    buffer.insert(1, dirty=False)
+    buffer.insert(2, dirty=True)
+    displaced = buffer.insert(3, dirty=False)
+    assert displaced == (1, False)
+    assert buffer.evictions == 1
+    assert len(buffer) == 2
+
+
+def test_insert_into_disabled_raises():
+    buffer = VictimBuffer(0)
+    with pytest.raises(SimulationError):
+        buffer.insert(1, dirty=False)
+
+
+def test_double_insert_raises():
+    buffer = VictimBuffer(2)
+    buffer.insert(1, dirty=False)
+    with pytest.raises(SimulationError):
+        buffer.insert(1, dirty=True)
+
+
+def test_dirty_bit_preserved_through_displacement():
+    buffer = VictimBuffer(1)
+    buffer.insert(1, dirty=True)
+    displaced = buffer.insert(2, dirty=False)
+    assert displaced == (1, True)

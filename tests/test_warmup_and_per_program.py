@@ -1,0 +1,67 @@
+"""Unit tests for the warm-up and per-program experiments (tiny scale)."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, Runner
+from repro.experiments import per_program, warmup
+from repro.experiments.warmup import occupancy_curve
+from repro.systems.factory import build_system, rampage_machine
+from repro.trace.record import READ
+
+
+@pytest.fixture(scope="module")
+def tiny_runner():
+    return Runner(
+        ExperimentConfig(scale=0.0004, slice_refs=5_000, cache_dir=None)
+    )
+
+
+class TestWarmup:
+    def test_occupancy_curve_monotone_milestones(self):
+        curve = occupancy_curve(4096, scale=0.0004, slice_refs=5_000, seed=0)
+        milestones = curve["milestones"]
+        assert 0.5 in milestones
+        reached = [milestones[m] for m in sorted(milestones)]
+        assert reached == sorted(reached)
+        assert curve["frames"] > 0
+
+    def test_run_produces_three_curves(self, tiny_runner):
+        output = warmup.run(tiny_runner)
+        sizes = [c["page_bytes"] for c in output.data["curves"]]
+        assert sizes == [128, 1024, 4096]
+        assert "refs@50%" in output.text
+
+    def test_small_pages_fill_slower(self, tiny_runner):
+        output = warmup.run(tiny_runner)
+        curves = {c["page_bytes"]: c for c in output.data["curves"]}
+        small, large = curves[128], curves[4096]
+        if 0.5 in small["milestones"] and 0.5 in large["milestones"]:
+            assert small["milestones"][0.5] > large["milestones"][0.5]
+        else:
+            # At very small scale the 128-byte memory may not even reach
+            # half occupancy -- which is itself the "fills slower" claim.
+            assert 0.5 in large["milestones"]
+            assert small["final_occupancy"] < large["final_occupancy"]
+
+
+class TestPerProgram:
+    def test_attribution_counts_sum(self, tiny_runner):
+        output = per_program.run(tiny_runner)
+        rows = output.data["programs"]
+        assert len(rows) == 18
+        assert sum(r["refs"] for r in rows) > 0
+        assert all(r["tlb_misses"] >= 0 for r in rows)
+
+    def test_per_pid_counters_populated_by_machine(self):
+        system = build_system(rampage_machine(10**9, 128))
+        system.access(READ, 0, pid=3)
+        system.access(READ, 4096, pid=5)
+        assert system.stats.tlb_misses_by_pid == {3: 1, 5: 1}
+        assert system.stats.faults_by_pid == {3: 1, 5: 1}
+
+    def test_per_pid_counters_in_as_dict(self):
+        system = build_system(rampage_machine(10**9, 128))
+        system.access(READ, 0, pid=2)
+        data = system.finalize().stats.as_dict()
+        assert data["tlb_misses_by_pid"] == {"2": 1}
+        assert data["faults_by_pid"] == {"2": 1}
