@@ -1,0 +1,61 @@
+"""Parallel sweep engine: wall-clock cost of filling a small grid.
+
+Not a paper experiment -- this measures the reproduction itself: how
+long the serial :class:`Runner` and the pool-backed
+:class:`ParallelRunner` take to fill the same cold grid.  On a
+single-core host the two are expected to tie (the pool degrades to one
+worker plus fork overhead); with cores to spare the parallel fill
+should approach ``serial / min(workers, cells)``.
+"""
+
+import os
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import ParallelRunner
+from repro.experiments.runner import Runner
+
+GRID_LABELS = ("baseline", "rampage")
+
+
+def _config(tmp_dir):
+    return ExperimentConfig(
+        scale=0.0001,
+        slice_refs=4_000,
+        issue_rates=(10**9,),
+        sizes=(128, 1024),
+        seed=0,
+        cache_dir=tmp_dir,
+    )
+
+
+def _fill_serial(tmp_dir):
+    runner = Runner(_config(tmp_dir))
+    for label in GRID_LABELS:
+        runner.grid(label)
+    return runner
+
+
+def _fill_parallel(tmp_dir, workers):
+    runner = ParallelRunner(_config(tmp_dir), workers=workers)
+    runner.prefetch(GRID_LABELS)
+    for label in GRID_LABELS:
+        runner.grid(label)
+    return runner
+
+
+def test_serial_grid_fill(benchmark, tmp_path_factory):
+    def round():
+        return _fill_serial(tmp_path_factory.mktemp("serial"))
+
+    runner = benchmark.pedantic(round, rounds=3, iterations=1)
+    assert len(runner.grid("baseline")) == 2
+
+
+def test_parallel_grid_fill(benchmark, tmp_path_factory):
+    workers = min(4, os.cpu_count() or 1)
+
+    def round():
+        return _fill_parallel(tmp_path_factory.mktemp("par"), workers)
+
+    runner = benchmark.pedantic(round, rounds=3, iterations=1)
+    assert len(runner.grid("baseline")) == 2

@@ -19,7 +19,8 @@ import sys
 from dataclasses import replace
 from typing import Callable, Sequence
 
-from repro.experiments import ExperimentConfig, Runner
+from repro.core.timer import ScopedTimer, refs_per_second
+from repro.experiments import ExperimentConfig, ParallelRunner, Runner
 from repro.experiments import (
     figure4,
     figure5,
@@ -80,6 +81,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--scale", type=float, help="workload scale factor")
     run_cmd.add_argument("--slice-refs", type=int, help="scheduling quantum")
     run_cmd.add_argument("--out", help="directory to write report files to")
+    run_cmd.add_argument(
+        "--workers",
+        type=int,
+        help="worker processes for sweep cells (default: one per core)",
+    )
 
     figures_cmd = sub.add_parser(
         "figures", help="render Figures 2-5 as SVG files"
@@ -87,6 +93,11 @@ def _build_parser() -> argparse.ArgumentParser:
     figures_cmd.add_argument("--out", default="results/figures")
     figures_cmd.add_argument("--scale", type=float, help="workload scale factor")
     figures_cmd.add_argument("--slice-refs", type=int, help="scheduling quantum")
+    figures_cmd.add_argument(
+        "--workers",
+        type=int,
+        help="worker processes for sweep cells (default: one per core)",
+    )
 
     sweep_cmd = sub.add_parser("sweep", help="run one ad-hoc simulation")
     sweep_cmd.add_argument(
@@ -109,6 +120,15 @@ def _config_with_flags(args: argparse.Namespace) -> ExperimentConfig:
     return config
 
 
+def _make_runner(args: argparse.Namespace) -> Runner:
+    """A parallel runner unless the user pinned a single worker."""
+    config = _config_with_flags(args)
+    workers = getattr(args, "workers", None)
+    if workers is not None and workers <= 1:
+        return Runner(config)
+    return ParallelRunner(config, workers=workers)
+
+
 def _cmd_list() -> int:
     for name, func in EXPERIMENTS.items():
         doc = (func.__doc__ or "").strip().splitlines()
@@ -124,10 +144,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         return 2
-    runner = Runner(_config_with_flags(args))
+    runner = _make_runner(args)
     for name in names:
-        output = EXPERIMENTS[name](runner)
+        with ScopedTimer() as timer:
+            output = EXPERIMENTS[name](runner)
         print(output.text)
+        print(f"[{name} finished in {timer.elapsed:.2f} s]")
         print()
         if args.out:
             path = output.write_to(args.out)
@@ -146,10 +168,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             return 2
         params = builder(args.issue_rate, args.size, **kwargs)
     programs = build_workload(args.scale)
-    result = simulate(params, programs, slice_refs=args.slice_refs)
+    with ScopedTimer() as timer:
+        result = simulate(params, programs, slice_refs=args.slice_refs)
     stats = result.stats
+    throughput = refs_per_second(stats.workload_refs, timer.elapsed)
     print(f"machine: {args.kind} @{args.issue_rate} Hz, unit {args.size} B")
     print(f"simulated time: {result.seconds:.6f} s")
+    print(f"wall time: {timer.elapsed:.2f} s ({throughput:,.0f} refs/s)")
     print(f"workload refs: {stats.workload_refs}")
     print(f"TLB misses: {stats.tlb_misses}  page faults: {stats.page_faults}")
     print(f"L2 misses: {stats.l2_misses}  DRAM accesses: {stats.dram_accesses}")
@@ -160,7 +185,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.analysis.figures_svg import write_figure_svgs
 
-    runner = Runner(_config_with_flags(args))
+    runner = _make_runner(args)
     paths = write_figure_svgs(runner, args.out)
     for path in paths:
         print(f"wrote {path}")

@@ -10,6 +10,8 @@ This subpackage holds the pieces every other layer depends on:
   the simulated machines (the paper's section 4 configurations).
 * :mod:`repro.core.stats` -- counters and the per-level time breakdown
   used for the paper's figures.
+* :mod:`repro.core.timer` -- wall-clock instrumentation (simulator
+  throughput, as opposed to simulated time).
 """
 
 from repro.core.clock import (
@@ -40,6 +42,7 @@ from repro.core.params import (
 )
 from repro.core.rng import XorShiftRNG
 from repro.core.stats import LevelTimes, SimStats
+from repro.core.timer import ScopedTimer, refs_per_second
 
 __all__ = [
     "PS_PER_NS",
@@ -65,4 +68,6 @@ __all__ = [
     "XorShiftRNG",
     "LevelTimes",
     "SimStats",
+    "ScopedTimer",
+    "refs_per_second",
 ]

@@ -1,0 +1,53 @@
+"""Wall-clock instrumentation for the CLI and benchmarks.
+
+The simulator's own time is integer picoseconds of *simulated* time
+(:mod:`repro.core.clock`); this module measures how long the simulation
+itself takes to run, so the CLI can report throughput and the benchmark
+snapshots have one shared definition of "refs per second".
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+
+class ScopedTimer:
+    """Context manager around :func:`time.perf_counter`.
+
+    ``elapsed`` reads the running total while the block is open and the
+    final duration after it closes; a timer that never entered its block
+    reads 0.0.  Re-entering restarts the measurement.
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self._elapsed: float | None = None
+
+    def __enter__(self) -> "ScopedTimer":
+        self._start = perf_counter()
+        self._elapsed = None
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        self._elapsed = perf_counter() - self._start  # type: ignore[operator]
+        return False
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds elapsed (live while open, final once closed)."""
+        if self._elapsed is not None:
+            return self._elapsed
+        if self._start is not None:
+            return perf_counter() - self._start
+        return 0.0
+
+
+def refs_per_second(refs: int, elapsed: float) -> float:
+    """Throughput of a run that consumed ``refs`` in ``elapsed`` seconds.
+
+    Returns 0.0 for a non-positive duration (a timer that never ran)
+    rather than dividing by zero.
+    """
+    if elapsed <= 0.0:
+        return 0.0
+    return refs / elapsed

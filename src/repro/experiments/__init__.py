@@ -12,6 +12,7 @@ and EXPERIMENTS.md).  Set ``REPRO_SCALE`` / ``REPRO_RATES`` /
 """
 
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import ParallelRunner
 from repro.experiments.runner import ExperimentOutput, Runner
 
-__all__ = ["ExperimentConfig", "Runner", "ExperimentOutput"]
+__all__ = ["ExperimentConfig", "Runner", "ParallelRunner", "ExperimentOutput"]

@@ -1,0 +1,185 @@
+"""Parallel sweep engine: fill the run-record cache with worker processes.
+
+The paper's tables sweep a grid of (issue rate, block/page size) cells
+and every cell is an independent simulation, so the sweep is
+embarrassingly parallel -- but the serial :class:`Runner` walks it one
+cell at a time.  :class:`ParallelRunner` keeps the exact caching
+contract (same keys, same JSON bytes on disk) and adds a prefetch stage
+that dispatches the *pending* cells -- cache misses only -- to a
+:class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Determinism is preserved because every simulation is seeded: a worker
+re-derives the workload from ``(scale, seed)`` and the machine from its
+:class:`~repro.core.params.MachineParams`, so a record computed in a
+subprocess is bit-identical to one computed in-process (a test asserts
+byte equality of the cached JSON).
+
+Degradation is graceful by design: ``workers=1`` never builds a pool,
+and any pool-level failure (fork limits, pickling regressions, a
+sandbox without process spawning) falls back to the in-process serial
+path rather than failing the sweep.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.analysis.runtime import RunGrid, RunRecord
+from repro.core.params import MachineParams
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import Runner
+from repro.systems.simulator import simulate
+from repro.trace.synthetic import build_workload
+
+#: Progress callback: (cells done, cells total, record just completed).
+ProgressFn = Callable[[int, int, RunRecord], None]
+
+
+def default_workers() -> int:
+    """The default pool width: one worker per core."""
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One pending grid cell, as shipped to a worker process.
+
+    Carries everything a worker needs to reproduce the cell from
+    scratch; nothing else crosses the process boundary.
+    """
+
+    label: str
+    params: MachineParams
+    scale: float
+    slice_refs: int
+    seed: int
+
+
+def _simulate_cell(spec: CellSpec) -> dict:
+    """Worker entry point: one full simulation, as a JSON-ready dict.
+
+    Returns ``RunRecord.as_dict()`` rather than the record itself so the
+    parent commits it through the same ``from_dict``/``as_dict``
+    round-trip the disk cache uses -- byte-identical JSON either way.
+    """
+    programs = build_workload(spec.scale, seed=spec.seed)
+    result = simulate(spec.params, programs, slice_refs=spec.slice_refs)
+    record = RunRecord.from_result(
+        spec.label, spec.params.transfer_unit_bytes, result
+    )
+    return record.as_dict()
+
+
+class ParallelRunner(Runner):
+    """Drop-in :class:`Runner` that prefetches grids with a process pool.
+
+    Parameters
+    ----------
+    config:
+        As for :class:`Runner`.
+    workers:
+        Pool width; ``None`` means one per core.  ``workers=1`` (or a
+        single pending cell) runs in-process with no pool at all.
+    progress:
+        Optional callback invoked after each completed cell with
+        ``(done, total, record)``; completion order, not grid order.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        workers: int | None = None,
+        progress: ProgressFn | None = None,
+    ) -> None:
+        super().__init__(config)
+        self.workers = default_workers() if workers is None else max(1, int(workers))
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    # Pending-cell enumeration
+    # ------------------------------------------------------------------
+
+    def _cell_spec(self, label: str, params: MachineParams) -> CellSpec:
+        config = self.config
+        return CellSpec(
+            label=label,
+            params=params,
+            scale=config.scale,
+            slice_refs=config.slice_refs,
+            seed=config.seed,
+        )
+
+    def pending_cells(self, labels: Sequence[str]) -> list[CellSpec]:
+        """Grid cells of ``labels`` not yet in either cache layer.
+
+        De-duplicates by cache key, so a machine shared between two
+        labels' grids is only simulated once.
+        """
+        pending: list[CellSpec] = []
+        seen: set[str] = set()
+        for label in labels:
+            for params in self.grid_params(label):
+                key = self._cache_key(params)
+                if key in seen or self._lookup(key) is not None:
+                    continue
+                seen.add(key)
+                pending.append(self._cell_spec(label, params))
+        return pending
+
+    # ------------------------------------------------------------------
+    # Prefetch
+    # ------------------------------------------------------------------
+
+    def prefetch(self, labels: Sequence[str]) -> int:
+        """Fill the cache for ``labels``; returns how many cells ran.
+
+        Uses the pool only when it can pay off (more than one pending
+        cell and ``workers > 1``); any pool failure degrades to the
+        serial in-process path, which re-checks the cache per cell so
+        work finished before the failure is not repeated.
+        """
+        pending = self.pending_cells(labels)
+        if not pending:
+            return 0
+        if self.workers > 1 and len(pending) > 1:
+            try:
+                self._prefetch_pool(pending)
+                return len(pending)
+            except Exception:
+                pass  # degrade below; completed cells are already stored
+        done = 0
+        total = len(pending)
+        for spec in pending:
+            record = self.record(spec.label, spec.params)
+            done += 1
+            if self.progress is not None:
+                self.progress(done, total, record)
+        return total
+
+    def _prefetch_pool(self, pending: list[CellSpec]) -> None:
+        total = len(pending)
+        done = 0
+        with ProcessPoolExecutor(max_workers=min(self.workers, total)) as pool:
+            futures = {
+                pool.submit(_simulate_cell, spec): spec for spec in pending
+            }
+            for future in as_completed(futures):
+                spec = futures[future]
+                record = RunRecord.from_dict(future.result())
+                self._store(self._cache_key(spec.params), record)
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, total, record)
+
+    # ------------------------------------------------------------------
+    # Runner interface
+    # ------------------------------------------------------------------
+
+    def grid(self, label: str) -> RunGrid:
+        """As :meth:`Runner.grid`, after prefetching pending cells."""
+        if label not in self._grids:
+            self.prefetch([label])
+        return super().grid(label)

@@ -5,11 +5,19 @@ can do better -- regenerate the workload under several seeds and report
 mean, standard deviation and a t-based 95% confidence interval for any
 scalar metric.  :func:`compare` replicates two machines and tests
 whether one is faster with non-overlapping confidence intervals.
+
+Seeds are independent simulations, so ``workers > 1`` farms them out to
+a process pool (metrics are still applied in the parent, so arbitrary
+callables -- lambdas included -- stay usable).  Results come back in
+seed order regardless of completion order, and any pool failure falls
+back to the serial loop.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from itertools import repeat
 from typing import Callable, Sequence
 
 from scipy import stats as scipy_stats
@@ -71,19 +79,53 @@ class ReplicationResult:
         return self.ci95_low <= other.ci95_high and other.ci95_low <= self.ci95_high
 
 
+def _simulate_seed(
+    params: MachineParams, scale: float, slice_refs: int, seed: int
+) -> SimulationResult:
+    """One seed's simulation (top-level so worker processes can run it)."""
+    programs = build_workload(scale, seed=seed)
+    return simulate(params, programs, slice_refs=slice_refs)
+
+
+def _run_seeds(
+    params: MachineParams,
+    config: ExperimentConfig,
+    seeds: Sequence[int],
+    workers: int,
+) -> list[SimulationResult]:
+    """Simulate every seed, in seed order, with up to ``workers`` processes."""
+    if workers > 1 and len(seeds) > 1:
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(seeds))
+            ) as pool:
+                return list(
+                    pool.map(
+                        _simulate_seed,
+                        repeat(params),
+                        repeat(config.scale),
+                        repeat(config.slice_refs),
+                        seeds,
+                    )
+                )
+        except Exception:
+            pass  # pool unavailable: fall through to the serial loop
+    return [
+        _simulate_seed(params, config.scale, config.slice_refs, seed)
+        for seed in seeds
+    ]
+
+
 def replicate(
     params: MachineParams,
     config: ExperimentConfig,
     seeds: Sequence[int] = (0, 1, 2, 3, 4),
     metric: MetricFn = seconds_metric,
+    workers: int = 1,
 ) -> ReplicationResult:
     """Run one machine under several workload seeds."""
-    values = []
-    for seed in seeds:
-        programs = build_workload(config.scale, seed=seed)
-        result = simulate(params, programs, slice_refs=config.slice_refs)
-        values.append(metric(result))
-    return ReplicationResult.from_values(values)
+    results = _run_seeds(params, config, seeds, workers)
+    return ReplicationResult.from_values([metric(r) for r in results])
 
 
 def compare(
@@ -92,6 +134,7 @@ def compare(
     config: ExperimentConfig,
     seeds: Sequence[int] = (0, 1, 2, 3, 4),
     metric: MetricFn = seconds_metric,
+    workers: int = 1,
 ) -> dict[str, object]:
     """Replicate two machines and summarise the comparison.
 
@@ -99,8 +142,8 @@ def compare(
     of ``b`` over ``a`` (``a.mean / b.mean - 1``), and whether the
     confidence intervals separate (``significant``).
     """
-    result_a = replicate(a, config, seeds, metric)
-    result_b = replicate(b, config, seeds, metric)
+    result_a = replicate(a, config, seeds, metric, workers)
+    result_b = replicate(b, config, seeds, metric, workers)
     return {
         "a": result_a,
         "b": result_b,

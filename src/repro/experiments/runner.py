@@ -101,9 +101,8 @@ class Runner:
             return None
         return Path(self.config.cache_dir) / f"{key}.json"
 
-    def record(self, label: str, params: MachineParams) -> RunRecord:
-        """Simulate one machine over the standard workload (cached)."""
-        key = self._cache_key(params)
+    def _lookup(self, key: str) -> RunRecord | None:
+        """Check the in-memory and on-disk caches for ``key``."""
         cached = self._memory.get(key)
         if cached is not None:
             return cached
@@ -112,31 +111,51 @@ class Runner:
             record = RunRecord.from_dict(json.loads(path.read_text("utf-8")))
             self._memory[key] = record
             return record
-        programs = build_workload(self.config.scale, seed=self.config.seed)
-        result = simulate(params, programs, slice_refs=self.config.slice_refs)
-        record = RunRecord.from_result(label, params.transfer_unit_bytes, result)
+        return None
+
+    def _store(self, key: str, record: RunRecord) -> None:
+        """Commit a record to both cache layers."""
         self._memory[key] = record
+        path = self._cache_path(key)
         if path is not None:
             path.parent.mkdir(parents=True, exist_ok=True)
             path.write_text(json.dumps(record.as_dict()), encoding="utf-8")
+
+    def record(self, label: str, params: MachineParams) -> RunRecord:
+        """Simulate one machine over the standard workload (cached)."""
+        key = self._cache_key(params)
+        cached = self._lookup(key)
+        if cached is not None:
+            return cached
+        programs = build_workload(self.config.scale, seed=self.config.seed)
+        result = simulate(params, programs, slice_refs=self.config.slice_refs)
+        record = RunRecord.from_result(label, params.transfer_unit_bytes, result)
+        self._store(key, record)
         return record
 
     # ------------------------------------------------------------------
     # Grids
     # ------------------------------------------------------------------
 
-    def grid(self, label: str) -> RunGrid:
-        """Return (building on demand) the sweep grid for ``label``."""
-        if label in self._grids:
-            return self._grids[label]
+    def grid_params(self, label: str) -> list[MachineParams]:
+        """The machine of every cell in ``label``'s sweep, in grid order."""
         builder = GRID_BUILDERS.get(label)
         if builder is None:
             raise ConfigurationError(
                 f"unknown grid {label!r}; known: {sorted(GRID_BUILDERS)}"
             )
+        return [
+            builder(rate, size)
+            for rate in self.config.issue_rates
+            for size in self.config.sizes
+        ]
+
+    def grid(self, label: str) -> RunGrid:
+        """Return (building on demand) the sweep grid for ``label``."""
+        if label in self._grids:
+            return self._grids[label]
         grid = RunGrid(label)
-        for rate in self.config.issue_rates:
-            for size in self.config.sizes:
-                grid.add(self.record(label, builder(rate, size)))
+        for params in self.grid_params(label):
+            grid.add(self.record(label, params))
         self._grids[label] = grid
         return grid

@@ -115,6 +115,13 @@ class MemorySystem:
         self._vpn_space_bits = params.vaddr_bits - self._page_bits
         self.handlers = HandlerLibrary(params.handlers, self._os_layout())
         self._preempted = False
+        # Fast paths that probe the L1 tag arrays directly are only
+        # sound when the subclass keeps the generic physical-block
+        # indexing (virtual-L1 machines override _l1_access to retag
+        # handler references into their own block space).
+        self._generic_l1_access = (
+            type(self)._l1_access is MemorySystem._l1_access
+        )
 
     # ------------------------------------------------------------------
     # Subclass protocol
@@ -174,12 +181,164 @@ class MemorySystem:
     def run_chunk(self, chunk: TraceChunk) -> int:
         """Consume a chunk; returns references consumed (see class doc)."""
         pid = chunk.pid
-        kinds = chunk.kinds.tolist()
-        addrs = chunk.addrs.tolist()
+        kinds = chunk.kinds_list
+        addrs = chunk.addrs_list
         for idx in range(len(kinds)):
             if not self.access(kinds[idx], addrs[idx], pid):
                 return idx
         return len(kinds)
+
+    # ------------------------------------------------------------------
+    # Run-collapsed fast path (direct-mapped L1s)
+    # ------------------------------------------------------------------
+
+    def _run_chunk_vectorized(self, chunk: TraceChunk, stable_translation: bool) -> int:
+        """Hot loop over the chunk's pre-translated runs.
+
+        Consumes the :class:`~repro.trace.record.ChunkRuns` structure --
+        page numbers, block offsets and same-block run lengths computed
+        in bulk by numpy -- and fast-forwards over each run instead of
+        re-deriving ``gvpn``/``block`` per reference.  Within a run
+        every reference shares one translation and, after the first
+        reference settles the block, one L1 outcome, so hit counters
+        and issue cycles can be added in one step.
+
+        Only valid for direct-mapped L1s (associative L1s update
+        replacement state per probe, which a collapsed run would skip);
+        callers fall back to their scalar loops otherwise.
+
+        ``stable_translation`` mirrors the machines' micro-cache rules:
+        the conventional machine's frames never move, so the last
+        (vpn, frame) pair survives a slow translation; RAMpage drops it
+        after every TLB miss (a fault may remap pages) and re-probes
+        the TLB on the following reference.  Observationally identical
+        to the scalar paths -- the equivalence suites enforce it.
+        """
+        runs = chunk.runs_for(
+            self._page_bits, self._l1_block_bits, self._vpn_space_bits
+        )
+        page_bits = self._page_bits
+        frame_shift = page_bits - self._l1_block_bits
+        tlb = self.tlb
+        # Inline the TLB probe: hit/miss counters are settled in bulk
+        # below, so the hot loop only needs the raw set-indexed get.
+        # The common fully-associative shape is a single dict.
+        if tlb.num_sets == 1:
+            tlb_get = tlb._maps[0].get
+        else:
+            tlb_get = tlb.peek
+        l1i, l1d = self.l1i, self.l1d
+        i_tags, d_tags = l1i.tags, l1d.tags
+        d_dirty = l1d.dirty
+        i_mask, d_mask = l1i.set_mask, l1d.set_mask
+        hit_c = self._l1_hit_cycles
+        clock = self.clock
+        lt = self.lt
+        stats = self.stats
+        ifetches = reads = writes = 0
+        i_hits = d_hits = 0
+        icycles = 0
+        tlb_hits = 0
+        tlb_misses = 0
+        last_vpn = -1
+        last_frame = 0
+        consumed = runs.n
+        for start, length, gvpn, offset, bip, is_ifetch, w, first_kind in zip(
+            runs.starts,
+            runs.lengths,
+            runs.gvpns,
+            runs.offsets,
+            runs.bips,
+            runs.is_ifetch,
+            runs.writes,
+            runs.first_kinds,
+        ):
+            if gvpn == last_vpn:
+                frame = last_frame
+                tlb_hits += length
+            else:
+                frame = tlb_get(gvpn)
+                if frame is None:
+                    tlb_misses += 1
+                    if icycles:
+                        lt.l1i += clock.tick_cycles(icycles)
+                        icycles = 0
+                    frame = self._translate(gvpn)
+                    if self._preempted:
+                        self._preempted = False
+                        consumed = start
+                        break
+                    if stable_translation:
+                        last_vpn = gvpn
+                        last_frame = frame
+                        tlb_hits += length - 1
+                    elif length > 1:
+                        # The fault may have remapped pages: the scalar
+                        # loop re-probes the TLB (which now holds the
+                        # fresh entry) on the next reference before the
+                        # micro-cache takes over again.
+                        frame = tlb_get(gvpn)
+                        last_vpn = gvpn
+                        last_frame = frame
+                        tlb_hits += length - 1
+                    else:
+                        last_vpn = -1
+                else:
+                    last_vpn = gvpn
+                    last_frame = frame
+                    tlb_hits += length
+            block = (frame << frame_shift) | bip
+            if is_ifetch:
+                ifetches += length
+                if i_tags[block & i_mask] == block:
+                    i_hits += length
+                    icycles += length * hit_c
+                else:
+                    if icycles:
+                        lt.l1i += clock.tick_cycles(icycles)
+                        icycles = 0
+                    self._l1_miss(
+                        l1i, block, (frame << page_bits) | offset, IFETCH
+                    )
+                    i_hits += length - 1
+                    icycles += (length - 1) * hit_c
+            else:
+                slot = block & d_mask
+                if d_tags[slot] == block:
+                    d_hits += length
+                    writes += w
+                    reads += length - w
+                    if w:
+                        d_dirty[slot] = 1
+                else:
+                    if first_kind == WRITE:
+                        writes += 1
+                        w -= 1
+                    else:
+                        reads += 1
+                    if icycles:
+                        lt.l1i += clock.tick_cycles(icycles)
+                        icycles = 0
+                    self._l1_miss(
+                        l1d, block, (frame << page_bits) | offset, first_kind
+                    )
+                    rest = length - 1
+                    if rest:
+                        d_hits += rest
+                        writes += w
+                        reads += rest - w
+                        if w:
+                            d_dirty[slot] = 1
+        if icycles:
+            lt.l1i += clock.tick_cycles(icycles)
+        tlb.hits += tlb_hits
+        tlb.misses += tlb_misses
+        stats.ifetches += ifetches
+        stats.reads += reads
+        stats.writes += writes
+        stats.l1i_hits += i_hits
+        stats.l1d_hits += d_hits
+        return consumed
 
     # ------------------------------------------------------------------
     # L1 handling (shared by workload and handler references)
@@ -241,6 +400,37 @@ class MemorySystem:
         dirty_found = False
         l1i, l1d = self.l1i, self.l1d
         hit = self._l1_hit_cycles
+        if l1i.ways == 1 and l1d.ways == 1:
+            # Direct-mapped fast path: probe both caches inline and
+            # batch the per-probe hit-time charges into one tick per
+            # cache (cycle charges are additive; no reference in this
+            # loop reads the clock, so timing is unchanged).
+            i_tags, d_tags = l1i.tags, l1d.tags
+            i_mask, d_mask = l1i.set_mask, l1d.set_mask
+            d_dirty = l1d.dirty
+            invalidations = 0
+            writebacks = 0
+            for block in range(first, first + count):
+                slot = block & i_mask
+                if i_tags[slot] == block:
+                    invalidations += 1
+                    i_tags[slot] = -1
+                    l1i.dirty[slot] = 0
+                slot = block & d_mask
+                if d_tags[slot] == block:
+                    invalidations += 1
+                    d_tags[slot] = -1
+                    if d_dirty[slot]:
+                        d_dirty[slot] = 0
+                        dirty_found = True
+                        writebacks += 1
+            lt.l1i += clock.tick_cycles(count * hit)
+            lt.l1d += clock.tick_cycles(count * hit)
+            stats.inclusion_invalidations += invalidations
+            if writebacks:
+                stats.l1_writebacks += writebacks
+                lt.l2 += clock.tick_cycles(writebacks * self._wb_cycles)
+            return dirty_found
         for block in range(first, first + count):
             lt.l1i += clock.tick_cycles(hit)
             present, _ = l1i.invalidate(block)
@@ -267,10 +457,50 @@ class MemorySystem:
         translation) and therefore bypass the TLB; they do populate and
         pollute the L1s and lower levels, as the paper's interleaved
         handler traces do.
+
+        Direct-mapped L1s take an inlined probe loop that batches
+        consecutive instruction-hit cycles into one clock tick (cycle
+        charges are additive, so timing is unchanged); associative L1s
+        go through the generic per-reference path.
         """
-        access = self._l1_access
+        l1i, l1d = self.l1i, self.l1d
+        if l1i.ways != 1 or l1d.ways != 1 or not self._generic_l1_access:
+            access = self._l1_access
+            for kind, paddr in refs:
+                access(kind, paddr)
+            return
+        block_bits = self._l1_block_bits
+        hit_c = self._l1_hit_cycles
+        i_tags, d_tags = l1i.tags, l1d.tags
+        i_mask, d_mask = l1i.set_mask, l1d.set_mask
+        d_dirty = l1d.dirty
+        clock = self.clock
+        lt = self.lt
+        stats = self.stats
+        i_hits = d_hits = 0
+        icycles = 0
         for kind, paddr in refs:
-            access(kind, paddr)
+            block = paddr >> block_bits
+            if kind == IFETCH:
+                if i_tags[block & i_mask] == block:
+                    i_hits += 1
+                    icycles += hit_c
+                    continue
+            else:
+                slot = block & d_mask
+                if d_tags[slot] == block:
+                    d_hits += 1
+                    if kind == WRITE:
+                        d_dirty[slot] = 1
+                    continue
+            if icycles:
+                lt.l1i += clock.tick_cycles(icycles)
+                icycles = 0
+            self._l1_miss(l1i if kind == IFETCH else l1d, block, paddr, kind)
+        if icycles:
+            lt.l1i += clock.tick_cycles(icycles)
+        stats.l1i_hits += i_hits
+        stats.l1d_hits += d_hits
 
     def context_switch(self, pid: int) -> None:
         """Run the ~400-reference context-switch trace (section 4.6)."""

@@ -87,7 +87,14 @@ class ConventionalSystem(MemorySystem):
 
     def _below_l1_fetch(self, paddr: int) -> None:
         l2_block = paddr >> self._l2_block_bits
-        if self.l2.slot_of(l2_block) != -1:
+        l2 = self.l2
+        if l2.ways == 1:
+            # Direct-mapped probe, inlined: one list index on the miss
+            # path of every L1 miss.
+            if l2.tags[l2_block & l2.set_mask] == l2_block:
+                self.stats.l2_hits += 1
+                return
+        elif l2.slot_of(l2_block) != -1:
             self.stats.l2_hits += 1
             return
         self.stats.l2_misses += 1
@@ -133,14 +140,23 @@ class ConventionalSystem(MemorySystem):
     # ------------------------------------------------------------------
 
     def run_chunk(self, chunk: TraceChunk) -> int:
-        """Inlined hot loop; observationally identical to base access().
+        """Fast chunk path; observationally identical to base access().
 
         DRAM pages are never reclaimed in this machine, so a
-        (vpn -> frame) micro-cache over the last translation is safe and
-        removes the TLB dict lookup for sequential runs.
+        (vpn -> frame) micro-cache over the last translation is safe --
+        and survives slow translations (``stable_translation=True``).
+        Direct-mapped L1s take the run-collapsed vectorized loop;
+        associative L1s need per-probe replacement updates and fall
+        back to the scalar loop below.
         """
-        kinds = chunk.kinds.tolist()
-        addrs = chunk.addrs.tolist()
+        if self.l1i.ways == 1 and self.l1d.ways == 1:
+            return self._run_chunk_vectorized(chunk, stable_translation=True)
+        return self._run_chunk_scalar(chunk)
+
+    def _run_chunk_scalar(self, chunk: TraceChunk) -> int:
+        """Inlined per-reference hot loop (associative-L1 fallback)."""
+        kinds = chunk.kinds_list
+        addrs = chunk.addrs_list
         n = len(kinds)
         pid_base = chunk.pid << self._vpn_space_bits
         page_bits = self._page_bits

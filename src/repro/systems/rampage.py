@@ -164,16 +164,24 @@ class RampageSystem(MemorySystem):
     # ------------------------------------------------------------------
 
     def run_chunk(self, chunk: TraceChunk) -> int:
-        """Inlined hot loop; observationally identical to base access().
+        """Fast chunk path; observationally identical to base access().
 
         Unlike the conventional machine, no micro-cache over the last
         translation survives a slow path: a page fault can unmap any
         page, so the cached (vpn, frame) pair is dropped after every
-        TLB miss.
+        TLB miss (``stable_translation=False``).  Direct-mapped L1s
+        take the run-collapsed vectorized loop; associative L1s fall
+        back to the scalar loop below.
         """
         self._current_pid = chunk.pid
-        kinds = chunk.kinds.tolist()
-        addrs = chunk.addrs.tolist()
+        if self.l1i.ways == 1 and self.l1d.ways == 1:
+            return self._run_chunk_vectorized(chunk, stable_translation=False)
+        return self._run_chunk_scalar(chunk)
+
+    def _run_chunk_scalar(self, chunk: TraceChunk) -> int:
+        """Inlined per-reference hot loop (associative-L1 fallback)."""
+        kinds = chunk.kinds_list
+        addrs = chunk.addrs_list
         n = len(kinds)
         pid_base = chunk.pid << self._vpn_space_bits
         page_bits = self._page_bits

@@ -23,7 +23,6 @@ from repro.core.errors import ConfigurationError
 from repro.core.params import MachineParams
 from repro.systems.base import MemorySystem, SimulationResult
 from repro.trace.interleave import InterleavedWorkload
-from repro.trace.record import TraceChunk
 from repro.trace.synthetic import SyntheticProgram
 
 
@@ -62,12 +61,7 @@ class Simulator:
                 # the tail back and rotate.  The fault path already ran
                 # the switch trace.
                 self.preemptions += 1
-                tail = TraceChunk(
-                    pid=chunk.pid,
-                    kinds=chunk.kinds[consumed:],
-                    addrs=chunk.addrs[consumed:],
-                )
-                workload.preempt(tail)
+                workload.preempt(chunk.tail(consumed))
                 skip_switch_trace = True
             if max_refs is not None and consumed_total >= max_refs:
                 break

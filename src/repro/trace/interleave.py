@@ -70,17 +70,10 @@ class ProgramStream:
             return None
         chunk = self._pending.pop(0)
         if len(chunk) > max_refs:
-            rest = TraceChunk(
-                pid=chunk.pid,
-                kinds=chunk.kinds[max_refs:],
-                addrs=chunk.addrs[max_refs:],
-            )
-            self._pending.insert(0, rest)
-            chunk = TraceChunk(
-                pid=chunk.pid,
-                kinds=chunk.kinds[:max_refs],
-                addrs=chunk.addrs[:max_refs],
-            )
+            # Cache-preserving split: the tail keeps any list views and
+            # pre-translated runs the chunk already materialised.
+            self._pending.insert(0, chunk.tail(max_refs))
+            chunk = chunk.head(max_refs)
         self.consumed += len(chunk)
         return chunk
 

@@ -12,7 +12,8 @@ the scalar API and tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from bisect import bisect_left
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, NamedTuple
 
 import numpy as np
@@ -51,18 +52,136 @@ class Reference(NamedTuple):
 
 
 @dataclass
+class ChunkRuns:
+    """Vectorized pre-translation of one :class:`TraceChunk`.
+
+    The simulators' hot loops spend most of their time re-deriving the
+    same page and L1-block numbers for consecutive references that land
+    in the same block.  This stage batch-computes, once per chunk with
+    numpy, the maximal *runs* of consecutive references that share one
+    L1 block and one reference class (instruction fetch vs data) -- a
+    run is the largest unit the hot loop can fast-forward over, because
+    every reference after the first is guaranteed the same translation
+    and the same L1 hit/miss outcome.
+
+    All fields are parallel per-run Python lists (indexing plain lists
+    is what the interpreter loop consumes fastest):
+
+    ``starts``       index of the run's first reference in the chunk
+    ``lengths``      number of references in the run
+    ``gvpns``        global virtual page number (pid | vpn) of the run
+    ``offsets``      first reference's byte offset within its page
+    ``bips``         first reference's L1-block index within its page
+    ``is_ifetch``    True for instruction-fetch runs
+    ``writes``       how many of the run's references are writes
+    ``first_kinds``  kind of the run's first reference
+
+    ``key`` records the geometry (page bits, L1 block bits, vpn space
+    bits) the runs were computed for; a chunk re-computes lazily when a
+    machine with different geometry consumes it.
+    """
+
+    key: tuple[int, int, int]
+    starts: list[int]
+    lengths: list[int]
+    gvpns: list[int]
+    offsets: list[int]
+    bips: list[int]
+    is_ifetch: list[bool]
+    writes: list[int]
+    first_kinds: list[int]
+    n: int
+
+    def suffix(self, consumed: int) -> "ChunkRuns | None":
+        """Runs for the chunk's tail starting at ``consumed``.
+
+        Returns None when ``consumed`` is not a run boundary (the tail
+        must then recompute).  Preemption always happens on a TLB miss,
+        i.e. at the first reference of a run, so in practice this hits.
+        """
+        if consumed == 0:
+            return self
+        idx = bisect_left(self.starts, consumed)
+        if idx >= len(self.starts) or self.starts[idx] != consumed:
+            return None
+        return ChunkRuns(
+            key=self.key,
+            starts=[start - consumed for start in self.starts[idx:]],
+            lengths=self.lengths[idx:],
+            gvpns=self.gvpns[idx:],
+            offsets=self.offsets[idx:],
+            bips=self.bips[idx:],
+            is_ifetch=self.is_ifetch[idx:],
+            writes=self.writes[idx:],
+            first_kinds=self.first_kinds[idx:],
+            n=self.n - consumed,
+        )
+
+
+def _compute_runs(
+    chunk: "TraceChunk", page_bits: int, l1_block_bits: int, vpn_space_bits: int
+) -> ChunkRuns:
+    key = (page_bits, l1_block_bits, vpn_space_bits)
+    kinds = chunk.kinds
+    addrs = chunk.addrs
+    n = len(addrs)
+    if n == 0:
+        return ChunkRuns(key, [], [], [], [], [], [], [], [], 0)
+    vblocks = addrs >> np.uint64(l1_block_bits)
+    is_ifetch = kinds == IFETCH
+    bounds = np.empty(n, dtype=bool)
+    bounds[0] = True
+    np.not_equal(vblocks[1:], vblocks[:-1], out=bounds[1:])
+    np.logical_or(bounds[1:], is_ifetch[1:] != is_ifetch[:-1], out=bounds[1:])
+    starts = np.flatnonzero(bounds)
+    lengths = np.diff(starts, append=n)
+    first_addrs = addrs[starts]
+    pid_base = chunk.pid << vpn_space_bits
+    gvpns = (first_addrs >> np.uint64(page_bits)) | np.uint64(pid_base)
+    offsets = first_addrs & np.uint64((1 << page_bits) - 1)
+    bips = offsets >> np.uint64(l1_block_bits)
+    cum_writes = np.concatenate(([0], np.cumsum(kinds == WRITE)))
+    writes = cum_writes[starts + lengths] - cum_writes[starts]
+    return ChunkRuns(
+        key=key,
+        starts=starts.tolist(),
+        lengths=lengths.tolist(),
+        gvpns=gvpns.tolist(),
+        offsets=offsets.tolist(),
+        bips=bips.tolist(),
+        is_ifetch=is_ifetch[starts].tolist(),
+        writes=writes.tolist(),
+        first_kinds=kinds[starts].tolist(),
+        n=n,
+    )
+
+
+@dataclass
 class TraceChunk:
     """A run of references from a single process.
 
     ``kinds`` and ``addrs`` are parallel arrays.  ``new_slice`` marks
     the first chunk after a scheduling boundary; the simulator inserts
     a context-switch trace there when scheduled switches are enabled.
+
+    Derived views -- the scalar list mirrors of the arrays and the
+    per-machine :class:`ChunkRuns` pre-translation -- are computed
+    lazily and cached, and shared with tail chunks split off by
+    :meth:`tail`, so a preempted chunk never re-materialises references
+    it already paid for.
     """
 
     pid: int
     kinds: np.ndarray
     addrs: np.ndarray
     new_slice: bool = False
+    _kinds_list: list[int] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _addrs_list: list[int] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _runs: ChunkRuns | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if len(self.kinds) != len(self.addrs):
@@ -74,10 +193,75 @@ class TraceChunk:
     def __len__(self) -> int:
         return len(self.kinds)
 
+    @property
+    def kinds_list(self) -> list[int]:
+        """``kinds`` as a cached Python list (scalar-loop fuel)."""
+        if self._kinds_list is None:
+            self._kinds_list = self.kinds.tolist()
+        return self._kinds_list
+
+    @property
+    def addrs_list(self) -> list[int]:
+        """``addrs`` as a cached Python list (scalar-loop fuel)."""
+        if self._addrs_list is None:
+            self._addrs_list = self.addrs.tolist()
+        return self._addrs_list
+
+    def runs_for(
+        self, page_bits: int, l1_block_bits: int, vpn_space_bits: int
+    ) -> ChunkRuns:
+        """Return (computing lazily) the pre-translated run structure."""
+        runs = self._runs
+        key = (page_bits, l1_block_bits, vpn_space_bits)
+        if runs is None or runs.key != key:
+            runs = _compute_runs(self, page_bits, l1_block_bits, vpn_space_bits)
+            self._runs = runs
+        return runs
+
+    def tail(self, consumed: int) -> "TraceChunk":
+        """The unconsumed suffix as a new chunk.
+
+        Arrays are numpy views (no copy); cached list views and run
+        structures are sliced rather than re-derived, so handing a
+        preemption tail back to the scheduler costs O(tail), not a
+        fresh materialisation of the whole chunk.
+        """
+        chunk = TraceChunk(
+            pid=self.pid,
+            kinds=self.kinds[consumed:],
+            addrs=self.addrs[consumed:],
+        )
+        if self._kinds_list is not None:
+            chunk._kinds_list = self._kinds_list[consumed:]
+        if self._addrs_list is not None:
+            chunk._addrs_list = self._addrs_list[consumed:]
+        if self._runs is not None:
+            chunk._runs = self._runs.suffix(consumed)
+        return chunk
+
+    def head(self, count: int) -> "TraceChunk":
+        """The first ``count`` references as a new chunk.
+
+        Like :meth:`tail`, arrays are views and cached list views are
+        sliced.  Run structures are not propagated: an arbitrary cut
+        can land mid-run, and a truncated run's write count cannot be
+        fixed up without rescanning, so the head recomputes lazily.
+        """
+        chunk = TraceChunk(
+            pid=self.pid,
+            kinds=self.kinds[:count],
+            addrs=self.addrs[:count],
+        )
+        if self._kinds_list is not None:
+            chunk._kinds_list = self._kinds_list[:count]
+        if self._addrs_list is not None:
+            chunk._addrs_list = self._addrs_list[:count]
+        return chunk
+
     def references(self) -> Iterator[Reference]:
         """Iterate as scalar :class:`Reference` values (slow path)."""
         pid = self.pid
-        for kind, addr in zip(self.kinds.tolist(), self.addrs.tolist()):
+        for kind, addr in zip(self.kinds_list, self.addrs_list):
             yield Reference(int(kind), int(addr), pid)
 
     @classmethod

@@ -1,0 +1,156 @@
+"""Tests for TraceChunk's cached views and run pre-translation.
+
+The vectorized hot loops trust :class:`ChunkRuns` to partition a chunk
+into maximal same-L1-block, same-class runs; these tests pin that
+structure against a scalar re-derivation and exercise the cache-sharing
+semantics of :meth:`TraceChunk.tail` and :meth:`TraceChunk.head`.
+"""
+
+import numpy as np
+from helpers import random_chunks
+
+from repro.trace.record import IFETCH, WRITE, TraceChunk, empty_chunk
+
+PAGE_BITS = 12
+L1_BLOCK_BITS = 5
+VPN_SPACE_BITS = 20
+GEOMETRY = (PAGE_BITS, L1_BLOCK_BITS, VPN_SPACE_BITS)
+
+
+def scalar_runs(chunk):
+    """Reference derivation, one reference at a time."""
+    runs = []
+    page_mask = (1 << PAGE_BITS) - 1
+    for i, (kind, addr) in enumerate(
+        zip(chunk.kinds.tolist(), chunk.addrs.tolist())
+    ):
+        vblock = addr >> L1_BLOCK_BITS
+        is_ifetch = kind == IFETCH
+        if runs and runs[-1]["vblock"] == vblock and runs[-1]["is_ifetch"] == is_ifetch:
+            runs[-1]["length"] += 1
+            runs[-1]["writes"] += int(kind == WRITE)
+        else:
+            offset = addr & page_mask
+            runs.append(
+                {
+                    "start": i,
+                    "length": 1,
+                    "vblock": vblock,
+                    "is_ifetch": is_ifetch,
+                    "writes": int(kind == WRITE),
+                    "first_kind": kind,
+                    "gvpn": (chunk.pid << VPN_SPACE_BITS) | (addr >> PAGE_BITS),
+                    "offset": offset,
+                    "bip": offset >> L1_BLOCK_BITS,
+                }
+            )
+    return runs
+
+
+def assert_runs_match(runs, expected, n):
+    assert runs.n == n
+    assert runs.starts == [r["start"] for r in expected]
+    assert runs.lengths == [r["length"] for r in expected]
+    assert runs.gvpns == [r["gvpn"] for r in expected]
+    assert runs.offsets == [r["offset"] for r in expected]
+    assert runs.bips == [r["bip"] for r in expected]
+    assert runs.is_ifetch == [r["is_ifetch"] for r in expected]
+    assert runs.writes == [r["writes"] for r in expected]
+    assert runs.first_kinds == [r["first_kind"] for r in expected]
+
+
+def test_runs_match_scalar_derivation():
+    for chunk in random_chunks(7):
+        runs = chunk.runs_for(*GEOMETRY)
+        assert_runs_match(runs, scalar_runs(chunk), len(chunk))
+
+
+def test_runs_split_on_class_change_within_a_block():
+    # Same L1 block throughout, but ifetch/data alternation must split.
+    chunk = TraceChunk(
+        pid=0,
+        kinds=np.array([IFETCH, IFETCH, 0, WRITE, IFETCH], dtype=np.uint8),
+        addrs=np.array([0x100, 0x104, 0x108, 0x10C, 0x110], dtype=np.uint64),
+    )
+    runs = chunk.runs_for(*GEOMETRY)
+    assert runs.starts == [0, 2, 4]
+    assert runs.lengths == [2, 2, 1]
+    assert runs.is_ifetch == [True, False, True]
+    assert runs.writes == [0, 1, 0]
+
+
+def test_runs_cached_and_keyed_by_geometry():
+    chunk = random_chunks(3, n_chunks=1)[0]
+    first = chunk.runs_for(*GEOMETRY)
+    assert chunk.runs_for(*GEOMETRY) is first
+    other = chunk.runs_for(PAGE_BITS, L1_BLOCK_BITS + 1, VPN_SPACE_BITS)
+    assert other is not first
+    assert other.key != first.key
+
+
+def test_empty_chunk_has_empty_runs():
+    runs = empty_chunk().runs_for(*GEOMETRY)
+    assert runs.n == 0
+    assert runs.starts == []
+
+
+def test_tail_slices_runs_at_run_boundary():
+    chunk = random_chunks(11, n_chunks=1)[0]
+    runs = chunk.runs_for(*GEOMETRY)
+    cut = runs.starts[len(runs.starts) // 2]
+    tail = chunk.tail(cut)
+    assert tail._runs is not None  # sliced, not recomputed
+    fresh = TraceChunk(
+        pid=chunk.pid, kinds=chunk.kinds[cut:], addrs=chunk.addrs[cut:]
+    ).runs_for(*GEOMETRY)
+    sliced = tail._runs
+    assert sliced.starts == fresh.starts
+    assert sliced.lengths == fresh.lengths
+    assert sliced.gvpns == fresh.gvpns
+    assert sliced.writes == fresh.writes
+    assert sliced.n == fresh.n
+
+
+def test_tail_mid_run_recomputes():
+    # A cut inside a run cannot be patched up; the tail must recompute.
+    chunk = TraceChunk(
+        pid=0,
+        kinds=np.array([0, 0, 0, 0], dtype=np.uint8),
+        addrs=np.array([0x100, 0x104, 0x108, 0x10C], dtype=np.uint64),
+    )
+    chunk.runs_for(*GEOMETRY)
+    tail = chunk.tail(2)
+    assert tail._runs is None
+    runs = tail.runs_for(*GEOMETRY)
+    assert runs.starts == [0]
+    assert runs.lengths == [2]
+
+
+def test_tail_and_head_share_list_caches():
+    chunk = random_chunks(5, n_chunks=1)[0]
+    kinds = chunk.kinds_list
+    addrs = chunk.addrs_list
+    tail = chunk.tail(100)
+    head = chunk.head(100)
+    assert tail._kinds_list == kinds[100:]
+    assert tail._addrs_list == addrs[100:]
+    assert head._kinds_list == kinds[:100]
+    assert head._addrs_list == addrs[:100]
+    # numpy halves are views of the same buffers, not copies
+    assert tail.addrs.base is not None
+    assert head.addrs.base is not None
+
+
+def test_head_does_not_inherit_runs():
+    chunk = random_chunks(9, n_chunks=1)[0]
+    chunk.runs_for(*GEOMETRY)
+    head = chunk.head(100)
+    assert head._runs is None
+    assert_runs_match(head.runs_for(*GEOMETRY), scalar_runs(head), 100)
+
+
+def test_list_caches_match_arrays():
+    chunk = random_chunks(1, n_chunks=1)[0]
+    assert chunk.kinds_list == chunk.kinds.tolist()
+    assert chunk.addrs_list == chunk.addrs.tolist()
+    assert chunk.kinds_list is chunk.kinds_list  # cached, not rebuilt

@@ -1,0 +1,136 @@
+"""Tests for the parallel sweep engine.
+
+The contract under test: :class:`ParallelRunner` is a drop-in
+:class:`Runner` whose worker processes leave *exactly* the same cache
+behind as the serial path -- same file names, same bytes -- and which
+degrades to in-process execution whenever a pool is pointless or
+broken.
+"""
+
+import os
+from pathlib import Path
+
+import repro.experiments.parallel as parallel_mod
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import ParallelRunner, _simulate_cell
+from repro.experiments.replication import replicate
+from repro.experiments.runner import Runner
+from repro.systems.factory import baseline_machine
+
+LABELS = ("baseline", "rampage")
+
+
+def config(cache_dir):
+    return ExperimentConfig(
+        scale=0.0001,
+        slice_refs=4_000,
+        issue_rates=(10**9,),
+        sizes=(128, 1024),
+        seed=0,
+        cache_dir=cache_dir,
+    )
+
+
+def cache_files(directory):
+    return sorted(Path(directory).glob("*.json"))
+
+
+def test_parallel_matches_serial_byte_for_byte(tmp_path):
+    serial = Runner(config(tmp_path / "serial"))
+    serial_grids = {label: serial.grid(label) for label in LABELS}
+
+    par = ParallelRunner(config(tmp_path / "par"), workers=4)
+    assert par.prefetch(LABELS) == 4
+    for label in LABELS:
+        grid = par.grid(label)
+        for rate in par.config.issue_rates:
+            for size in par.config.sizes:
+                assert grid.cell(rate, size) == serial_grids[label].cell(
+                    rate, size
+                )
+
+    a = cache_files(tmp_path / "serial")
+    b = cache_files(tmp_path / "par")
+    assert [p.name for p in a] == [p.name for p in b]
+    for pa, pb in zip(a, b):
+        assert pa.read_bytes() == pb.read_bytes()
+
+
+def test_worker_record_round_trips_to_in_process_json(tmp_path):
+    par = ParallelRunner(config(tmp_path), workers=1)
+    spec = par.pending_cells(("baseline",))[0]
+    worker_dict = _simulate_cell(spec)
+    record = par.record(spec.label, spec.params)
+    assert record.as_dict() == worker_dict
+
+
+def test_pending_cells_skip_cached_and_prefetch_drains(tmp_path):
+    par = ParallelRunner(config(tmp_path), workers=1)
+    pending = par.pending_cells(LABELS)
+    assert len(pending) == 4
+    assert {spec.label for spec in pending} == set(LABELS)
+    par.record(pending[0].label, pending[0].params)
+    assert len(par.pending_cells(LABELS)) == 3
+    assert par.prefetch(LABELS) == 3
+    assert par.pending_cells(LABELS) == []
+    assert par.prefetch(LABELS) == 0
+
+
+def test_pending_cells_survive_runner_restart(tmp_path):
+    first = ParallelRunner(config(tmp_path), workers=1)
+    first.prefetch(("baseline",))
+    # A fresh runner over the same cache dir sees the disk records.
+    second = ParallelRunner(config(tmp_path), workers=1)
+    assert {spec.label for spec in second.pending_cells(LABELS)} == {"rampage"}
+
+
+def test_progress_callback_reports_every_cell(tmp_path):
+    events = []
+    par = ParallelRunner(
+        config(tmp_path),
+        workers=1,
+        progress=lambda done, total, record: events.append(
+            (done, total, record.label)
+        ),
+    )
+    par.prefetch(("baseline",))
+    assert events == [(1, 2, "baseline"), (2, 2, "baseline")]
+
+
+def test_pool_failure_degrades_to_in_process(tmp_path, monkeypatch):
+    par = ParallelRunner(config(tmp_path), workers=4)
+
+    def boom(pending):
+        raise RuntimeError("pool unavailable")
+
+    monkeypatch.setattr(par, "_prefetch_pool", boom)
+    assert par.prefetch(LABELS) == 4
+    assert par.pending_cells(LABELS) == []
+
+
+def test_single_worker_never_builds_a_pool(tmp_path, monkeypatch):
+    # Poison the pool constructor: any attempt to use it would raise.
+    monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", None)
+    par = ParallelRunner(config(tmp_path), workers=1)
+    assert par.prefetch(LABELS) == 4
+    assert par.pending_cells(LABELS) == []
+
+
+def test_default_worker_count_is_cpu_count(tmp_path):
+    par = ParallelRunner(config(tmp_path))
+    assert par.workers == (os.cpu_count() or 1)
+    assert ParallelRunner(config(tmp_path), workers=0).workers == 1
+
+
+def test_replicate_parallel_matches_serial():
+    cfg = ExperimentConfig(
+        scale=0.0001,
+        slice_refs=4_000,
+        issue_rates=(10**9,),
+        sizes=(128,),
+        cache_dir=None,
+    )
+    params = baseline_machine(10**9, 512)
+    serial = replicate(params, cfg, seeds=(0, 1), workers=1)
+    parallel = replicate(params, cfg, seeds=(0, 1), workers=2)
+    assert parallel.values == serial.values

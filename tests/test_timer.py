@@ -1,0 +1,45 @@
+"""Tests for the wall-clock timer helpers."""
+
+import time
+
+from repro.core.timer import ScopedTimer, refs_per_second
+
+
+def test_timer_measures_elapsed_and_freezes_on_exit():
+    with ScopedTimer() as timer:
+        time.sleep(0.01)
+        assert timer.elapsed > 0.0  # live reading while open
+    final = timer.elapsed
+    assert final >= 0.01
+    time.sleep(0.005)
+    assert timer.elapsed == final  # frozen after exit
+
+
+def test_timer_unused_reads_zero():
+    assert ScopedTimer().elapsed == 0.0
+
+
+def test_timer_reenters_fresh():
+    timer = ScopedTimer()
+    with timer:
+        time.sleep(0.01)
+    first = timer.elapsed
+    with timer:
+        pass
+    assert timer.elapsed < first
+
+
+def test_timer_survives_exceptions():
+    timer = ScopedTimer()
+    try:
+        with timer:
+            raise ValueError("boom")
+    except ValueError:
+        pass
+    assert timer.elapsed > 0.0
+
+
+def test_refs_per_second():
+    assert refs_per_second(1000, 2.0) == 500.0
+    assert refs_per_second(1000, 0.0) == 0.0
+    assert refs_per_second(0, 1.0) == 0.0

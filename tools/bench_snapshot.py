@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Record a simulator-throughput snapshot in BENCH_throughput.json.
+
+Measures references simulated per wall-clock second for each machine --
+the same drive loop as ``benchmarks/bench_simulator_throughput.py`` --
+and appends one snapshot to ``BENCH_throughput.json`` at the repo root,
+so hot-loop regressions (or wins) are visible across commits without
+digging through pytest-benchmark output.
+
+Each round drives a fresh machine over ~120 k references; the best of
+``--rounds`` (default 4) is recorded, which filters scheduler noise the
+way pytest-benchmark's min-based ranking does.
+
+Usage:
+    PYTHONPATH=src python tools/bench_snapshot.py [--rounds N] [--note TEXT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from datetime import date
+from pathlib import Path
+
+from repro.core.timer import ScopedTimer, refs_per_second
+from repro.systems.factory import baseline_machine, build_system, rampage_machine
+from repro.trace.interleave import InterleavedWorkload
+from repro.trace.synthetic import build_workload
+
+REFS = 120_000
+SCALE = 0.0002
+SLICE_REFS = 10_000
+
+MACHINES = {
+    "conventional": lambda: baseline_machine(10**9, 512),
+    "rampage": lambda: rampage_machine(10**9, 1024),
+}
+
+
+def drive(params) -> int:
+    system = build_system(params)
+    workload = InterleavedWorkload(
+        build_workload(scale=SCALE), slice_refs=SLICE_REFS
+    )
+    consumed = 0
+    while consumed < REFS:
+        chunk = workload.next_chunk()
+        if chunk is None:
+            break
+        consumed += system.run_chunk(chunk)
+    return consumed
+
+
+def measure(rounds: int) -> dict[str, int]:
+    throughput: dict[str, int] = {}
+    for name, build in MACHINES.items():
+        best = 0.0
+        for _ in range(rounds):
+            params = build()
+            with ScopedTimer() as timer:
+                consumed = drive(params)
+            best = max(best, refs_per_second(consumed, timer.elapsed))
+        throughput[name] = int(round(best))
+        print(f"{name}: {throughput[name]:,} refs/s (best of {rounds})")
+    return throughput
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=4)
+    parser.add_argument("--note", default="", help="what changed since the last snapshot")
+    args = parser.parse_args(argv)
+
+    path = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+    if path.exists():
+        data = json.loads(path.read_text("utf-8"))
+    else:
+        data = {
+            "unit": "refs_per_second",
+            "workload": {"refs": REFS, "scale": SCALE, "slice_refs": SLICE_REFS},
+            "snapshots": [],
+        }
+
+    snapshot = {
+        "date": date.today().isoformat(),
+        "host": platform.node(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "note": args.note,
+        "throughput": measure(args.rounds),
+    }
+    data["snapshots"].append(snapshot)
+    path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
