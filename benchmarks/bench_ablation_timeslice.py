@@ -17,7 +17,6 @@ moves the block-size trade-off, which is exactly what the paper asked
 future work to establish.
 """
 
-from dataclasses import replace
 
 from repro.analysis.report import render_table
 from repro.analysis.runtime import RunRecord

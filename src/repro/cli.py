@@ -6,10 +6,14 @@ Subcommands::
     rampage-sim run table3 [table4 ...]   # run experiments, print reports
     rampage-sim run all --out results/    # everything, saved to files
     rampage-sim sweep --kind rampage ...  # one ad-hoc simulation cell
+    rampage-sim cache stats|verify|purge  # inspect/repair the run cache
 
 Workload scaling comes from the ``REPRO_*`` environment variables (see
 :mod:`repro.experiments.config`) or the ``--scale`` / ``--slice-refs``
-flags, which take precedence.
+/ ``--seed`` flags, which take precedence.  ``sweep`` runs through the
+same cached :class:`~repro.experiments.runner.Runner` as the tables, so
+an ad-hoc cell with a grid cell's ``(params, scale, slice_refs, seed)``
+is the *same* record -- cache hits included.
 """
 
 from __future__ import annotations
@@ -17,10 +21,18 @@ from __future__ import annotations
 import argparse
 import sys
 from dataclasses import replace
+from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.core.errors import CacheIntegrityError
+from repro.core.observe import read_manifest
 from repro.core.timer import ScopedTimer, refs_per_second
 from repro.experiments import ExperimentConfig, ParallelRunner, Runner
+from repro.experiments.runner import (
+    decode_cache_entry,
+    iter_cache_files,
+    iter_quarantined_files,
+)
 from repro.experiments import (
     figure4,
     figure5,
@@ -39,8 +51,6 @@ from repro.systems.factory import (
     rampage_machine,
     twoway_machine,
 )
-from repro.systems.simulator import simulate
-from repro.trace.synthetic import build_workload
 
 EXPERIMENTS: dict[str, Callable[[Runner], ExperimentOutput]] = {
     "table1": table1.run,
@@ -106,8 +116,43 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--issue-rate", type=int, default=1_000_000_000)
     sweep_cmd.add_argument("--size", type=int, default=1024, help="block/page bytes")
     sweep_cmd.add_argument("--switch-on-miss", action="store_true")
-    sweep_cmd.add_argument("--scale", type=float, default=0.001)
-    sweep_cmd.add_argument("--slice-refs", type=int, default=20_000)
+    sweep_cmd.add_argument(
+        "--scale", type=float, help="workload scale factor (default: REPRO_SCALE)"
+    )
+    sweep_cmd.add_argument(
+        "--slice-refs",
+        type=int,
+        help="scheduling quantum (default: REPRO_SLICE_REFS)",
+    )
+    sweep_cmd.add_argument(
+        "--seed", type=int, help="workload seed (default: REPRO_SEED)"
+    )
+    sweep_cmd.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the run-record cache for this cell",
+    )
+
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect and repair the run-record cache"
+    )
+    cache_sub = cache_cmd.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (
+        ("stats", "summarise the cache directory and its manifest"),
+        ("verify", "integrity-check every cached record"),
+        ("purge", "delete cached records (all, or quarantined only)"),
+    ):
+        sub_cmd = cache_sub.add_parser(name, help=help_text)
+        sub_cmd.add_argument(
+            "--dir",
+            dest="cache_dir",
+            help="cache directory (default: REPRO_CACHE_DIR or .repro_cache)",
+        )
+    cache_sub.choices["purge"].add_argument(
+        "--corrupt-only",
+        action="store_true",
+        help="delete only quarantined *.json.corrupt files",
+    )
     return parser
 
 
@@ -117,6 +162,8 @@ def _config_with_flags(args: argparse.Namespace) -> ExperimentConfig:
         config = replace(config, scale=args.scale)
     if getattr(args, "slice_refs", None) is not None:
         config = replace(config, slice_refs=args.slice_refs)
+    if getattr(args, "seed", None) is not None:
+        config = replace(config, seed=args.seed)
     return config
 
 
@@ -159,26 +206,131 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     builder = _MACHINES[args.kind]
-    kwargs = {}
     if args.kind == "rampage":
-        params = builder(args.issue_rate, args.size, switch_on_miss=args.switch_on_miss, **kwargs)
+        params = builder(
+            args.issue_rate, args.size, switch_on_miss=args.switch_on_miss
+        )
+        label = "rampage_som" if args.switch_on_miss else "rampage"
     else:
         if args.switch_on_miss:
             print("--switch-on-miss requires --kind rampage", file=sys.stderr)
             return 2
-        params = builder(args.issue_rate, args.size, **kwargs)
-    programs = build_workload(args.scale)
+        params = builder(args.issue_rate, args.size)
+        label = args.kind
+    config = _config_with_flags(args)
+    if args.no_cache:
+        config = replace(config, cache_dir=None)
+    runner = Runner(config)
     with ScopedTimer() as timer:
-        result = simulate(params, programs, slice_refs=args.slice_refs)
-    stats = result.stats
-    throughput = refs_per_second(stats.workload_refs, timer.elapsed)
+        record = runner.record(label, params)
+    stats = record.stats
+    throughput = refs_per_second(record.workload_refs, timer.elapsed)
+    cache_state = "hit" if runner.cache_stats.hits else "miss"
     print(f"machine: {args.kind} @{args.issue_rate} Hz, unit {args.size} B")
-    print(f"simulated time: {result.seconds:.6f} s")
+    print(
+        f"workload: scale {config.scale}, slice {config.slice_refs} refs, "
+        f"seed {config.seed}"
+    )
+    print(f"cache: {cache_state}")
+    print(f"simulated time: {record.seconds:.6f} s")
     print(f"wall time: {timer.elapsed:.2f} s ({throughput:,.0f} refs/s)")
-    print(f"workload refs: {stats.workload_refs}")
-    print(f"TLB misses: {stats.tlb_misses}  page faults: {stats.page_faults}")
-    print(f"L2 misses: {stats.l2_misses}  DRAM accesses: {stats.dram_accesses}")
-    print(f"level fractions: { {k: round(v, 4) for k, v in result.level_fractions.items()} }")
+    print(f"workload refs: {record.workload_refs}")
+    print(f"TLB misses: {stats['tlb_misses']}  page faults: {stats['page_faults']}")
+    print(f"L2 misses: {stats['l2_misses']}  DRAM accesses: {stats['dram_accesses']}")
+    print(f"level fractions: { {k: round(v, 4) for k, v in record.level_fractions.items()} }")
+    return 0
+
+
+def _resolve_cache_dir(args: argparse.Namespace) -> Path | None:
+    """The cache directory a ``cache`` subcommand should operate on."""
+    if getattr(args, "cache_dir", None):
+        return Path(args.cache_dir)
+    return ExperimentConfig.from_env().cache_dir
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache_dir = _resolve_cache_dir(args)
+    if cache_dir is None:
+        print(
+            "caching is disabled (REPRO_CACHE_DIR=''); pass --dir",
+            file=sys.stderr,
+        )
+        return 2
+    if not cache_dir.exists():
+        print(f"cache directory {cache_dir} does not exist")
+        return 0 if args.cache_command == "stats" else 2
+    handler = {
+        "stats": _cache_stats,
+        "verify": _cache_verify,
+        "purge": _cache_purge,
+    }[args.cache_command]
+    return handler(cache_dir, args)
+
+
+def _cache_stats(cache_dir: Path, args: argparse.Namespace) -> int:
+    entries = list(iter_cache_files(cache_dir))
+    quarantined = list(iter_quarantined_files(cache_dir))
+    total_bytes = sum(path.stat().st_size for path in entries)
+    by_label: dict[str, int] = {}
+    undecodable = 0
+    for path in entries:
+        try:
+            record = decode_cache_entry(path.read_text("utf-8"))
+        except (OSError, CacheIntegrityError):
+            undecodable += 1
+            continue
+        by_label[record.label] = by_label.get(record.label, 0) + 1
+    print(f"cache directory: {cache_dir}")
+    print(f"records: {len(entries)} ({total_bytes:,} bytes)")
+    for table_label in sorted(by_label):
+        print(f"  {table_label:12s} {by_label[table_label]}")
+    if undecodable:
+        print(f"undecodable records: {undecodable} (run 'cache verify')")
+    print(f"quarantined files: {len(quarantined)}")
+    manifest = read_manifest(cache_dir)
+    if manifest is not None:
+        counters = manifest.get("cache", {})
+        summary = ", ".join(f"{k}={v}" for k, v in sorted(counters.items()))
+        print(f"last sweep manifest: grids={manifest.get('grids')} {summary}")
+    return 0
+
+
+def _cache_verify(cache_dir: Path, args: argparse.Namespace) -> int:
+    bad = 0
+    checked = 0
+    for path in iter_cache_files(cache_dir):
+        checked += 1
+        try:
+            decode_cache_entry(path.read_text("utf-8"))
+        except (OSError, CacheIntegrityError) as error:
+            bad += 1
+            print(f"CORRUPT {path.name}: {error}")
+    quarantined = list(iter_quarantined_files(cache_dir))
+    for path in quarantined:
+        print(f"QUARANTINED {path.name}")
+    print(
+        f"verified {checked} records: {checked - bad} ok, {bad} corrupt, "
+        f"{len(quarantined)} quarantined"
+    )
+    if bad or quarantined:
+        print("run 'rampage-sim cache purge --corrupt-only' to discard them")
+        return 1
+    return 0
+
+
+def _cache_purge(cache_dir: Path, args: argparse.Namespace) -> int:
+    removed = 0
+    targets = list(iter_quarantined_files(cache_dir))
+    if not args.corrupt_only:
+        targets += list(iter_cache_files(cache_dir))
+    for path in targets:
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    scope = "quarantined files" if args.corrupt_only else "cache entries"
+    print(f"purged {removed} {scope} from {cache_dir}")
     return 0
 
 
@@ -202,6 +354,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_figures(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -31,3 +31,14 @@ class SimulationError(ReproError, RuntimeError):
 
 class TraceFormatError(ReproError, ValueError):
     """A trace file or trace record could not be parsed or validated."""
+
+
+class CacheIntegrityError(ReproError, ValueError):
+    """A cached run record failed validation (torn, tampered or stale).
+
+    Raised while decoding a cache file whose JSON is invalid, whose
+    schema or workload version does not match the running code, or
+    whose checksum disagrees with its payload.  The experiment runner
+    treats this as a cache *miss* -- the file is quarantined and the
+    cell recomputed -- so corruption never aborts a sweep.
+    """

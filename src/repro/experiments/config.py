@@ -22,13 +22,14 @@ REPRO_RATES        comma-separated issue rates in Hz
 REPRO_SIZES        comma-separated block/page sizes in bytes
 REPRO_SEED         workload + replacement seed (int)
 REPRO_CACHE_DIR    run-record cache directory ('' disables)
+REPRO_EVENT_LOG    structured JSONL event-log file ('' disables)
 =================  =============================================
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 from repro.core.errors import ConfigurationError
@@ -48,6 +49,7 @@ class ExperimentConfig:
     sizes: tuple[int, ...] = DEFAULT_SIZES
     seed: int = 0
     cache_dir: Path | None = DEFAULT_CACHE_DIR
+    event_log: Path | None = None
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
@@ -102,4 +104,7 @@ class ExperimentConfig:
         if "REPRO_CACHE_DIR" in env:
             raw = env["REPRO_CACHE_DIR"]
             kwargs["cache_dir"] = Path(raw) if raw else None
+        if "REPRO_EVENT_LOG" in env:
+            raw = env["REPRO_EVENT_LOG"]
+            kwargs["event_log"] = Path(raw) if raw else None
         return cls(**kwargs)  # type: ignore[arg-type]

@@ -29,6 +29,7 @@ from typing import Callable, Sequence
 
 from repro.analysis.runtime import RunGrid, RunRecord
 from repro.core.params import MachineParams
+from repro.core.timer import ScopedTimer, refs_per_second
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import Runner
 from repro.systems.simulator import simulate
@@ -71,6 +72,18 @@ def _simulate_cell(spec: CellSpec) -> dict:
         spec.label, spec.params.transfer_unit_bytes, result
     )
     return record.as_dict()
+
+
+def _simulate_cell_timed(spec: CellSpec) -> tuple[dict, float]:
+    """As :func:`_simulate_cell`, plus the worker-side wall time.
+
+    The parent cannot time parallel cells itself (completions overlap),
+    so the per-cell duration crosses the process boundary alongside the
+    record dict and feeds the observability events.
+    """
+    with ScopedTimer() as timer:
+        payload = _simulate_cell(spec)
+    return payload, timer.elapsed
 
 
 class ParallelRunner(Runner):
@@ -138,25 +151,49 @@ class ParallelRunner(Runner):
 
         Uses the pool only when it can pay off (more than one pending
         cell and ``workers > 1``); any pool failure degrades to the
-        serial in-process path, which re-checks the cache per cell so
-        work finished before the failure is not repeated.
+        serial in-process path.  Cells the pool already committed (and
+        already reported through the progress callback) are skipped in
+        the fallback, so neither the work nor the callback repeats and
+        ``done`` counts stay monotonic over one shared ``total``.
         """
         pending = self.pending_cells(labels)
         if not pending:
             return 0
-        if self.workers > 1 and len(pending) > 1:
-            try:
-                self._prefetch_pool(pending)
-                return len(pending)
-            except Exception:
-                pass  # degrade below; completed cells are already stored
-        done = 0
         total = len(pending)
-        for spec in pending:
-            record = self.record(spec.label, spec.params)
-            done += 1
-            if self.progress is not None:
-                self.progress(done, total, record)
+        done = 0
+        self.events.emit(
+            "sweep_started",
+            labels=list(labels),
+            pending=total,
+            workers=self.workers,
+        )
+        with ScopedTimer() as timer:
+            if self.workers > 1 and total > 1:
+                try:
+                    self._prefetch_pool(pending)
+                    pending = []
+                    done = total
+                except Exception:
+                    # Degrade: drop the cells the pool finished before
+                    # dying; their progress callbacks already fired.
+                    pending = [
+                        spec
+                        for spec in pending
+                        if self._lookup(self._cache_key(spec.params)) is None
+                    ]
+                    done = total - len(pending)
+            for spec in pending:
+                record = self.record(spec.label, spec.params)
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, total, record)
+        self.events.emit(
+            "sweep_completed",
+            labels=list(labels),
+            cells=total,
+            wall_s=round(timer.elapsed, 6),
+        )
+        self.write_cache_manifest()
         return total
 
     def _prefetch_pool(self, pending: list[CellSpec]) -> None:
@@ -164,12 +201,25 @@ class ParallelRunner(Runner):
         done = 0
         with ProcessPoolExecutor(max_workers=min(self.workers, total)) as pool:
             futures = {
-                pool.submit(_simulate_cell, spec): spec for spec in pending
+                pool.submit(_simulate_cell_timed, spec): spec for spec in pending
             }
             for future in as_completed(futures):
                 spec = futures[future]
-                record = RunRecord.from_dict(future.result())
+                payload, wall_s = future.result()
+                record = RunRecord.from_dict(payload)
+                # A cell the pool computed was by definition a miss;
+                # the serial path counts these inside record().
+                self.cache_stats.misses += 1
                 self._store(self._cache_key(spec.params), record)
+                self.events.emit(
+                    "cell_completed",
+                    key=self._cache_key(spec.params),
+                    label=record.label,
+                    wall_s=round(wall_s, 6),
+                    refs_per_s=round(
+                        refs_per_second(record.workload_refs, wall_s), 1
+                    ),
+                )
                 done += 1
                 if self.progress is not None:
                     self.progress(done, total, record)

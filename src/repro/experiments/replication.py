@@ -23,7 +23,9 @@ from typing import Callable, Sequence
 from scipy import stats as scipy_stats
 
 from repro.core.errors import ConfigurationError
+from repro.core.observe import EventLog
 from repro.core.params import MachineParams
+from repro.core.timer import ScopedTimer
 from repro.experiments.config import ExperimentConfig
 from repro.systems.base import SimulationResult
 from repro.systems.simulator import simulate
@@ -122,10 +124,37 @@ def replicate(
     seeds: Sequence[int] = (0, 1, 2, 3, 4),
     metric: MetricFn = seconds_metric,
     workers: int = 1,
+    events: EventLog | None = None,
 ) -> ReplicationResult:
-    """Run one machine under several workload seeds."""
-    results = _run_seeds(params, config, seeds, workers)
-    return ReplicationResult.from_values([metric(r) for r in results])
+    """Run one machine under several workload seeds.
+
+    Duplicate seeds are a configuration error: they would silently
+    shrink the effective sample and understate the variance, so the
+    mistake is rejected up front rather than folded into the stats.
+    """
+    seeds = tuple(seeds)
+    if len(set(seeds)) != len(seeds):
+        raise ConfigurationError(f"replication seeds must be unique, got {seeds}")
+    if events is not None:
+        events.emit(
+            "replication_started",
+            kind=params.kind,
+            seeds=list(seeds),
+            workers=workers,
+        )
+    with ScopedTimer() as timer:
+        results = _run_seeds(params, config, seeds, workers)
+        summary = ReplicationResult.from_values([metric(r) for r in results])
+    if events is not None:
+        events.emit(
+            "replication_completed",
+            kind=params.kind,
+            seeds=list(seeds),
+            mean=summary.mean,
+            std=summary.std,
+            wall_s=round(timer.elapsed, 6),
+        )
+    return summary
 
 
 def compare(
@@ -135,6 +164,7 @@ def compare(
     seeds: Sequence[int] = (0, 1, 2, 3, 4),
     metric: MetricFn = seconds_metric,
     workers: int = 1,
+    events: EventLog | None = None,
 ) -> dict[str, object]:
     """Replicate two machines and summarise the comparison.
 
@@ -142,8 +172,8 @@ def compare(
     of ``b`` over ``a`` (``a.mean / b.mean - 1``), and whether the
     confidence intervals separate (``significant``).
     """
-    result_a = replicate(a, config, seeds, metric, workers)
-    result_b = replicate(b, config, seeds, metric, workers)
+    result_a = replicate(a, config, seeds, metric, workers, events)
+    result_b = replicate(b, config, seeds, metric, workers, events)
     return {
         "a": result_a,
         "b": result_b,

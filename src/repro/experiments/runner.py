@@ -7,6 +7,22 @@ machine description plus workload parameters.  Records persist as one
 JSON file per cell under the configured cache directory; re-rendering a
 figure from table data costs nothing.
 
+The disk cache is crash-safe and integrity-checked, because parallel
+sweeps (:mod:`repro.experiments.parallel`) let multiple processes share
+one cache directory:
+
+* **Atomic commits** -- records are written to a temp file in the cache
+  directory, fsynced, then ``os.replace``d into place, so a reader can
+  never observe a torn ``<key>.json``.
+* **Envelope format** -- each file carries a schema tag, the workload
+  version and a SHA-256 checksum of the record payload
+  (:data:`CACHE_SCHEMA`, :func:`encode_cache_entry`).
+* **Quarantine, never crash** -- a file that fails decoding or
+  validation is a cache *miss*: it is renamed to ``<key>.json.corrupt``
+  for post-mortem, a structured event is logged, and the cell is
+  recomputed.  ``rampage-sim cache verify`` reports quarantined and
+  corrupt files; ``rampage-sim cache purge`` clears them.
+
 Grid labels (the hierarchies the paper compares):
 
 =================  ====================================================
@@ -23,13 +39,21 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Iterator
 
 from repro.analysis.runtime import RunGrid, RunRecord
-from repro.core.errors import ConfigurationError
+from repro.core.errors import CacheIntegrityError, ConfigurationError
+from repro.core.observe import (
+    CacheStats,
+    EventLog,
+    atomic_write_text,
+    write_manifest,
+)
 from repro.core.params import MachineParams
+from repro.core.timer import ScopedTimer, refs_per_second
 from repro.experiments.config import ExperimentConfig
 from repro.systems.factory import (
     baseline_machine,
@@ -43,6 +67,12 @@ from repro.trace.synthetic import build_workload
 #: cached records are never mixed with fresh ones.
 WORKLOAD_VERSION = "wv4"
 
+#: Cache-file envelope schema, bumped when the envelope layout changes.
+CACHE_SCHEMA = "rampage-cache/1"
+
+#: Suffix appended to a cache file that failed integrity validation.
+QUARANTINE_SUFFIX = ".corrupt"
+
 GRID_BUILDERS: dict[str, Callable[[int, int], MachineParams]] = {
     "baseline": lambda rate, size: baseline_machine(rate, size),
     "rampage": lambda rate, size: rampage_machine(rate, size),
@@ -51,6 +81,83 @@ GRID_BUILDERS: dict[str, Callable[[int, int], MachineParams]] = {
     ),
     "twoway": lambda rate, size: twoway_machine(rate, size),
 }
+
+
+# ----------------------------------------------------------------------
+# Cache-file envelope
+# ----------------------------------------------------------------------
+
+
+def record_checksum(payload: dict) -> str:
+    """SHA-256 over the canonical JSON encoding of a record dict."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def encode_cache_entry(record: RunRecord) -> str:
+    """Serialise a record into the integrity-checked envelope format."""
+    payload = record.as_dict()
+    return json.dumps(
+        {
+            "schema": CACHE_SCHEMA,
+            "workload_version": WORKLOAD_VERSION,
+            "checksum": record_checksum(payload),
+            "record": payload,
+        }
+    )
+
+
+def decode_cache_entry(text: str) -> RunRecord:
+    """Validate and decode one cache file's contents.
+
+    Raises :class:`CacheIntegrityError` on invalid JSON, a missing or
+    mismatched schema/workload version, or a checksum that disagrees
+    with the payload -- every way a torn write, a stale simulator or a
+    tampering editor can corrupt a record.
+    """
+    try:
+        envelope = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CacheIntegrityError(f"invalid JSON: {exc}") from exc
+    if not isinstance(envelope, dict):
+        raise CacheIntegrityError(
+            f"expected an envelope object, got {type(envelope).__name__}"
+        )
+    schema = envelope.get("schema")
+    if schema != CACHE_SCHEMA:
+        raise CacheIntegrityError(
+            f"schema mismatch: file has {schema!r}, expected {CACHE_SCHEMA!r}"
+        )
+    version = envelope.get("workload_version")
+    if version != WORKLOAD_VERSION:
+        raise CacheIntegrityError(
+            f"workload version mismatch: file has {version!r}, "
+            f"expected {WORKLOAD_VERSION!r}"
+        )
+    payload = envelope.get("record")
+    if not isinstance(payload, dict):
+        raise CacheIntegrityError("envelope has no record payload")
+    checksum = envelope.get("checksum")
+    expected = record_checksum(payload)
+    if checksum != expected:
+        raise CacheIntegrityError(
+            f"checksum mismatch: file has {checksum!r}, payload hashes to "
+            f"{expected!r}"
+        )
+    try:
+        return RunRecord.from_dict(payload)
+    except (KeyError, TypeError) as exc:
+        raise CacheIntegrityError(f"record payload incomplete: {exc}") from exc
+
+
+def iter_cache_files(cache_dir: str | Path) -> Iterator[Path]:
+    """Every committed record file in ``cache_dir``, sorted by name."""
+    yield from sorted(Path(cache_dir).glob("*.json"))
+
+
+def iter_quarantined_files(cache_dir: str | Path) -> Iterator[Path]:
+    """Every quarantined record file in ``cache_dir``, sorted by name."""
+    yield from sorted(Path(cache_dir).glob(f"*.json{QUARANTINE_SUFFIX}"))
 
 
 @dataclass(frozen=True)
@@ -74,8 +181,14 @@ class ExperimentOutput:
 class Runner:
     """Runs and caches the simulations behind every experiment."""
 
-    def __init__(self, config: ExperimentConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        events: EventLog | None = None,
+    ) -> None:
         self.config = config if config is not None else ExperimentConfig.from_env()
+        self.events = events if events is not None else EventLog(self.config.event_log)
+        self.cache_stats = CacheStats()
         self._memory: dict[str, RunRecord] = {}
         self._grids: dict[str, RunGrid] = {}
 
@@ -101,37 +214,120 @@ class Runner:
             return None
         return Path(self.config.cache_dir) / f"{key}.json"
 
+    def _quarantine(self, key: str, path: Path, error: CacheIntegrityError) -> None:
+        """Move a failed cache file aside and log the event."""
+        target = path.with_name(path.name + QUARANTINE_SUFFIX)
+        try:
+            os.replace(path, target)
+            destination = str(target)
+        except OSError:
+            # Someone else already moved or deleted it; nothing to keep.
+            destination = str(path)
+        self.cache_stats.quarantined += 1
+        self.events.emit(
+            "cache_quarantined",
+            key=key,
+            path=destination,
+            reason=str(error),
+        )
+
     def _lookup(self, key: str) -> RunRecord | None:
-        """Check the in-memory and on-disk caches for ``key``."""
+        """Check the in-memory and on-disk caches for ``key``.
+
+        A disk file that fails integrity validation is treated as a
+        miss: it is quarantined to ``<key>.json.corrupt`` and the
+        caller recomputes the cell.  Decode errors never propagate.
+        """
         cached = self._memory.get(key)
         if cached is not None:
+            self.cache_stats.hits_memory += 1
             return cached
         path = self._cache_path(key)
-        if path is not None and path.exists():
-            record = RunRecord.from_dict(json.loads(path.read_text("utf-8")))
-            self._memory[key] = record
-            return record
-        return None
+        if path is None or not path.exists():
+            return None
+        try:
+            text = path.read_text("utf-8")
+        except OSError:
+            return None
+        try:
+            record = decode_cache_entry(text)
+        except CacheIntegrityError as error:
+            self._quarantine(key, path, error)
+            return None
+        self.cache_stats.hits_disk += 1
+        self.events.emit("cache_hit", key=key, layer="disk", label=record.label)
+        self._memory[key] = record
+        return record
 
     def _store(self, key: str, record: RunRecord) -> None:
-        """Commit a record to both cache layers."""
+        """Commit a record to both cache layers (disk commit is atomic)."""
         self._memory[key] = record
         path = self._cache_path(key)
         if path is not None:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            path.write_text(json.dumps(record.as_dict()), encoding="utf-8")
+            atomic_write_text(path, encode_cache_entry(record))
+            self.cache_stats.stores += 1
 
     def record(self, label: str, params: MachineParams) -> RunRecord:
-        """Simulate one machine over the standard workload (cached)."""
+        """Simulate one machine over the standard workload (cached).
+
+        The cache key deliberately excludes ``label`` (two grids that
+        share a machine share the cell), so a hit computed under a
+        different grid is relabelled on read -- the returned record
+        always carries the label the caller asked for.
+        """
         key = self._cache_key(params)
         cached = self._lookup(key)
         if cached is not None:
+            if cached.label != label:
+                cached = replace(cached, label=label)
             return cached
-        programs = build_workload(self.config.scale, seed=self.config.seed)
-        result = simulate(params, programs, slice_refs=self.config.slice_refs)
+        self.cache_stats.misses += 1
+        self.events.emit(
+            "cell_started",
+            key=key,
+            label=label,
+            kind=params.kind,
+            issue_rate_hz=params.issue_rate_hz,
+            size_bytes=params.transfer_unit_bytes,
+        )
+        with ScopedTimer() as timer:
+            programs = build_workload(self.config.scale, seed=self.config.seed)
+            result = simulate(params, programs, slice_refs=self.config.slice_refs)
         record = RunRecord.from_result(label, params.transfer_unit_bytes, result)
         self._store(key, record)
+        self.events.emit(
+            "cell_completed",
+            key=key,
+            label=label,
+            wall_s=round(timer.elapsed, 6),
+            refs_per_s=round(refs_per_second(record.workload_refs, timer.elapsed), 1),
+        )
         return record
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+
+    def write_cache_manifest(self) -> Path | None:
+        """Summarise the cache directory into its manifest (atomic).
+
+        Returns the manifest path, or ``None`` when caching is off.
+        """
+        cache_dir = self.config.cache_dir
+        if cache_dir is None:
+            return None
+        entries = sum(1 for _ in iter_cache_files(cache_dir))
+        quarantined = sum(1 for _ in iter_quarantined_files(cache_dir))
+        return write_manifest(
+            cache_dir,
+            {
+                "workload_version": WORKLOAD_VERSION,
+                "grids": sorted(self._grids),
+                "cache": self.cache_stats.as_dict(),
+                "entries": entries,
+                "quarantined_files": quarantined,
+            },
+        )
 
     # ------------------------------------------------------------------
     # Grids
@@ -158,4 +354,5 @@ class Runner:
         for params in self.grid_params(label):
             grid.add(self.record(label, params))
         self._grids[label] = grid
+        self.write_cache_manifest()
         return grid

@@ -32,7 +32,7 @@ from repro.mem.cache import SetAssociativeCache
 from repro.mem.dram import RambusChannel
 from repro.mem.tlb import TLB
 from repro.ossim.handlers import HandlerLibrary
-from repro.trace.record import IFETCH, READ, WRITE, TraceChunk
+from repro.trace.record import IFETCH, WRITE, TraceChunk
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.ossim.footprint import OsLayout

@@ -1,9 +1,7 @@
 """Tests for the shared machine machinery (repro.systems.base)."""
 
-import pytest
 
 from repro.core.params import (
-    KIB,
     MIB,
     CacheParams,
     HandlerCosts,

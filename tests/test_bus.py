@@ -5,7 +5,6 @@ import pytest
 from repro.core.errors import ConfigurationError
 from repro.core.params import BusParams, CacheParams, KIB, L1Params, MachineParams
 from repro.mem.bus import (
-    OVERHEAD_BEATS,
     check_consistency,
     derived_miss_penalty_cycles,
     derived_rampage_writeback_cycles,

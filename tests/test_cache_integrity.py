@@ -1,0 +1,251 @@
+"""Tests for the crash-safe, integrity-checked run-record cache.
+
+The contract: no on-disk state -- torn, truncated, tampered, stale or
+plain garbage -- may ever crash a run.  Bad files are cache *misses*
+that get quarantined to ``<key>.json.corrupt`` with a structured event,
+and the cell is recomputed.  Commits are atomic, so two runners can
+share one cache directory.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.runtime import RunRecord
+from repro.core.errors import CacheIntegrityError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    CACHE_SCHEMA,
+    QUARANTINE_SUFFIX,
+    Runner,
+    decode_cache_entry,
+    encode_cache_entry,
+    record_checksum,
+)
+from repro.systems.factory import baseline_machine
+
+PARAMS = baseline_machine(10**9, 1024)
+
+
+def config(cache_dir):
+    return ExperimentConfig(
+        scale=0.0001,
+        slice_refs=4_000,
+        issue_rates=(10**9,),
+        sizes=(1024,),
+        seed=0,
+        cache_dir=cache_dir,
+    )
+
+
+def seeded_cache(tmp_path):
+    """A cache dir holding one committed record; returns (dir, path, record)."""
+    runner = Runner(config(tmp_path))
+    record = runner.record("baseline", PARAMS)
+    paths = list(tmp_path.glob("*.json"))
+    assert len(paths) == 1
+    return tmp_path, paths[0], record
+
+
+def fresh_runner(cache_dir):
+    return Runner(config(cache_dir))
+
+
+# ----------------------------------------------------------------------
+# Envelope encode/decode
+# ----------------------------------------------------------------------
+
+
+def test_envelope_round_trips(tmp_path):
+    _, path, record = seeded_cache(tmp_path)
+    envelope = json.loads(path.read_text("utf-8"))
+    assert envelope["schema"] == CACHE_SCHEMA
+    assert envelope["checksum"] == record_checksum(envelope["record"])
+    assert decode_cache_entry(path.read_text("utf-8")) == record
+
+
+@pytest.mark.parametrize(
+    "mutate, reason",
+    [
+        (lambda env: "{ not json", "invalid JSON"),
+        (lambda env: json.dumps([1, 2, 3]), "expected an envelope"),
+        (
+            lambda env: json.dumps({**env, "schema": "rampage-cache/0"}),
+            "schema mismatch",
+        ),
+        (
+            lambda env: json.dumps({**env, "workload_version": "wv0"}),
+            "workload version mismatch",
+        ),
+        (
+            lambda env: json.dumps({**env, "checksum": "0" * 64}),
+            "checksum mismatch",
+        ),
+        (
+            lambda env: json.dumps({k: v for k, v in env.items() if k != "record"}),
+            "no record payload",
+        ),
+    ],
+)
+def test_decode_rejects_corruption(tmp_path, mutate, reason):
+    _, path, _ = seeded_cache(tmp_path)
+    envelope = json.loads(path.read_text("utf-8"))
+    with pytest.raises(CacheIntegrityError, match=reason):
+        decode_cache_entry(mutate(envelope))
+
+
+def test_checksum_covers_the_payload(tmp_path):
+    _, path, _ = seeded_cache(tmp_path)
+    envelope = json.loads(path.read_text("utf-8"))
+    envelope["record"]["seconds"] = envelope["record"]["seconds"] + 1.0
+    with pytest.raises(CacheIntegrityError, match="checksum mismatch"):
+        decode_cache_entry(json.dumps(envelope))
+
+
+# ----------------------------------------------------------------------
+# Corruption recovery: miss + quarantine, never a crash
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "corrupt",
+    [
+        lambda path: path.write_text(path.read_text("utf-8")[: 40], "utf-8"),
+        lambda path: path.write_text("not json at all", "utf-8"),
+        lambda path: path.write_text("", "utf-8"),
+        lambda path: path.write_text(
+            json.dumps({"schema": "rampage-cache/999", "record": {}}), "utf-8"
+        ),
+    ],
+    ids=["truncated", "garbage", "empty", "wrong-version"],
+)
+def test_corrupt_file_is_miss_quarantine_and_recompute(tmp_path, corrupt):
+    cache_dir, path, original = seeded_cache(tmp_path)
+    corrupt(path)  # simulates a kill -9 mid-write / stale or torn file
+
+    runner = fresh_runner(cache_dir)
+    record = runner.record("baseline", PARAMS)
+
+    # The run survived and recomputed the exact same record.
+    assert record == original
+    # The bad bytes were moved aside, and a fresh commit replaced them.
+    corrupt_files = list(cache_dir.glob(f"*{QUARANTINE_SUFFIX}"))
+    assert len(corrupt_files) == 1
+    assert corrupt_files[0].name == path.name + QUARANTINE_SUFFIX
+    assert decode_cache_entry(path.read_text("utf-8")) == original
+    # Bookkeeping saw it all.
+    assert runner.cache_stats.quarantined == 1
+    assert runner.cache_stats.misses == 1
+    assert runner.cache_stats.stores == 1
+    events = [event["event"] for event in runner.events.events]
+    assert "cache_quarantined" in events
+    quarantine_event = runner.events.of("cache_quarantined")[0]
+    assert quarantine_event["path"].endswith(QUARANTINE_SUFFIX)
+    assert quarantine_event["reason"]
+
+
+def test_legacy_bare_record_is_quarantined(tmp_path):
+    """Pre-envelope cache files (raw record dicts) are stale, not fatal."""
+    cache_dir, path, original = seeded_cache(tmp_path)
+    path.write_text(json.dumps(original.as_dict()), "utf-8")
+    runner = fresh_runner(cache_dir)
+    assert runner.record("baseline", PARAMS) == original
+    assert runner.cache_stats.quarantined == 1
+
+
+# ----------------------------------------------------------------------
+# Atomic commits
+# ----------------------------------------------------------------------
+
+
+def test_store_leaves_no_temp_files(tmp_path):
+    cache_dir, path, _ = seeded_cache(tmp_path)
+    names = {item.name for item in cache_dir.iterdir()}
+    assert names == {path.name}
+
+
+def test_commit_is_replace_not_append(tmp_path, monkeypatch):
+    """The record file never holds a mix of old and new bytes."""
+    cache_dir, path, original = seeded_cache(tmp_path)
+    seen = []
+    real_replace = os.replace
+
+    def spying_replace(src, dst):
+        seen.append((Path(src).name, Path(dst).name))
+        return real_replace(src, dst)
+
+    monkeypatch.setattr(os, "replace", spying_replace)
+    path.write_text("torn", "utf-8")
+    fresh_runner(cache_dir).record("baseline", PARAMS)
+    # First the quarantine rename, then the temp-file commit.
+    assert seen[0] == (path.name, path.name + QUARANTINE_SUFFIX)
+    assert seen[1][0].startswith(".") and seen[1][1] == path.name
+
+
+# ----------------------------------------------------------------------
+# Two runners, one cache directory
+# ----------------------------------------------------------------------
+
+
+def test_second_runner_reads_first_runners_commit(tmp_path):
+    cache_dir, _, original = seeded_cache(tmp_path)
+    second = fresh_runner(cache_dir)
+    record = second.record("baseline", PARAMS)
+    assert record == original
+    assert second.cache_stats.hits_disk == 1
+    assert second.cache_stats.misses == 0
+    assert second.events.of("cache_hit")[0]["layer"] == "disk"
+
+
+def test_concurrent_style_interleaving_is_safe(tmp_path):
+    """Two live runners alternating on one dir never tread on each other."""
+    a = fresh_runner(tmp_path)
+    b = fresh_runner(tmp_path)
+    record_a = a.record("baseline", PARAMS)
+    record_b = b.record("baseline", PARAMS)  # disk hit on a's commit
+    assert record_a == record_b
+    assert b.cache_stats.hits_disk == 1
+    # b re-committing (e.g. after a's file was corrupted) is also safe.
+    list(tmp_path.glob("*.json"))[0].write_text("torn", "utf-8")
+    assert a.record("baseline", PARAMS) == record_a  # memory hit, unaffected
+    fresh = fresh_runner(tmp_path)
+    assert fresh.record("baseline", PARAMS) == record_a
+
+
+# ----------------------------------------------------------------------
+# Relabel-on-read (cross-grid cache hits)
+# ----------------------------------------------------------------------
+
+
+def test_cache_hit_is_relabelled_on_read(tmp_path):
+    cache_dir, path, _ = seeded_cache(tmp_path)
+    second = fresh_runner(cache_dir)
+    record = second.record("twoway", PARAMS)
+    assert record.label == "twoway"
+    # Only the label differs; the simulation payload is shared.
+    assert record.stats == second.record("baseline", PARAMS).stats
+    # The disk record keeps its original label (the cache is shared).
+    assert decode_cache_entry(path.read_text("utf-8")).label == "baseline"
+
+
+def test_relabel_applies_to_memory_hits_too(tmp_path):
+    runner = fresh_runner(tmp_path)
+    runner.record("baseline", PARAMS)
+    assert runner.record("twoway", PARAMS).label == "twoway"
+    assert runner.record("baseline", PARAMS).label == "baseline"
+
+
+def test_encode_is_deterministic():
+    record = RunRecord(
+        label="baseline",
+        kind="conventional",
+        issue_rate_hz=10**9,
+        size_bytes=1024,
+        switch_on_miss=False,
+        seconds=1.5,
+        time_ps=1_500_000,
+        stats={"level_times": {"l1i": 1}},
+    )
+    assert encode_cache_entry(record) == encode_cache_entry(record)

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.analysis.characterize import (
-    WorkloadProfile,
     characterize,
     reuse_distance_histogram,
 )

@@ -1,8 +1,10 @@
 """Tests for the rampage-sim command-line interface."""
 
-import pytest
 
 from repro.cli import EXPERIMENTS, main
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import Runner
+from repro.systems.factory import rampage_machine
 
 
 def test_list_prints_experiments(capsys):
@@ -56,6 +58,183 @@ def test_sweep_switch_on_miss_requires_rampage(capsys):
         ["sweep", "--kind", "baseline", "--switch-on-miss", "--scale", "0.0001"]
     )
     assert code == 2
+
+
+def test_sweep_seed_matches_cached_grid_cell(tmp_path, capsys, monkeypatch):
+    """Acceptance: ``sweep --seed N`` is *the same cell* as a cached grid
+    run with identical ``(params, scale, slice_refs, seed)`` -- the CLI
+    hits the cache and reports the cached record's numbers."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    cached = Runner(
+        ExperimentConfig(
+            scale=0.0001,
+            slice_refs=2_000,
+            issue_rates=(10**9,),
+            sizes=(1024,),
+            seed=3,
+            cache_dir=tmp_path,
+        )
+    ).record("rampage", rampage_machine(10**9, 1024))
+
+    code = main(
+        [
+            "sweep",
+            "--kind",
+            "rampage",
+            "--issue-rate",
+            "1000000000",
+            "--size",
+            "1024",
+            "--scale",
+            "0.0001",
+            "--slice-refs",
+            "2000",
+            "--seed",
+            "3",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cache: hit" in out
+    assert "seed 3" in out
+    assert f"workload refs: {cached.workload_refs}" in out
+    assert f"simulated time: {cached.seconds:.6f} s" in out
+    assert f"TLB misses: {cached.stats['tlb_misses']}" in out
+
+
+def test_sweep_different_seed_is_a_different_cell(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    base = [
+        "sweep",
+        "--kind",
+        "baseline",
+        "--scale",
+        "0.0001",
+        "--slice-refs",
+        "2000",
+    ]
+    assert main(base + ["--seed", "0"]) == 0
+    assert "cache: miss" in capsys.readouterr().out
+    assert main(base + ["--seed", "1"]) == 0
+    assert "cache: miss" in capsys.readouterr().out
+    assert main(base + ["--seed", "0"]) == 0
+    assert "cache: hit" in capsys.readouterr().out
+
+
+def test_sweep_no_cache_bypasses_the_store(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    code = main(
+        ["sweep", "--kind", "baseline", "--scale", "0.0001", "--slice-refs",
+         "2000", "--no-cache"]
+    )
+    assert code == 0
+    assert "cache: miss" in capsys.readouterr().out
+    assert list(tmp_path.glob("*.json")) == []
+
+
+def test_cache_recovery_end_to_end(tmp_path, capsys, monkeypatch):
+    """Acceptance: a kill -9 mid-write (simulated by truncating a cache
+    file) leaves the cache usable -- next run misses, quarantines and
+    recomputes; ``cache verify`` reports it; ``cache purge`` repairs."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    sweep = [
+        "sweep",
+        "--kind",
+        "baseline",
+        "--scale",
+        "0.0001",
+        "--slice-refs",
+        "2000",
+        "--seed",
+        "0",
+    ]
+    assert main(sweep) == 0
+    capsys.readouterr()
+    path = next(tmp_path.glob("*.json"))
+    text = path.read_text("utf-8")
+    path.write_text(text[: len(text) // 2], "utf-8")  # torn write
+
+    assert main(sweep) == 0  # survives, recomputes
+    assert "cache: miss" in capsys.readouterr().out
+    assert len(list(tmp_path.glob("*.json.corrupt"))) == 1
+
+    assert main(["cache", "verify", "--dir", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "QUARANTINED" in out
+    assert "1 quarantined" in out
+
+    assert main(["cache", "purge", "--corrupt-only", "--dir", str(tmp_path)]) == 0
+    capsys.readouterr()
+    assert main(["cache", "verify", "--dir", str(tmp_path)]) == 0
+    assert "1 ok, 0 corrupt, 0 quarantined" in capsys.readouterr().out
+    # The repaired record still serves hits.
+    assert main(sweep) == 0
+    assert "cache: hit" in capsys.readouterr().out
+
+
+def test_cache_verify_detects_in_place_corruption(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert (
+        main(["sweep", "--kind", "baseline", "--scale", "0.0001",
+              "--slice-refs", "2000"]) == 0
+    )
+    capsys.readouterr()
+    next(tmp_path.glob("*.json")).write_text("garbage", "utf-8")
+    assert main(["cache", "verify", "--dir", str(tmp_path)]) == 1
+    assert "CORRUPT" in capsys.readouterr().out
+
+
+def test_cache_stats_summarises_directory(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert (
+        main(["sweep", "--kind", "rampage", "--scale", "0.0001",
+              "--slice-refs", "2000"]) == 0
+    )
+    capsys.readouterr()
+    assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "records: 1" in out
+    assert "rampage" in out
+    assert "quarantined files: 0" in out
+
+
+def test_cache_purge_all(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert (
+        main(["sweep", "--kind", "baseline", "--scale", "0.0001",
+              "--slice-refs", "2000"]) == 0
+    )
+    capsys.readouterr()
+    assert main(["cache", "purge", "--dir", str(tmp_path)]) == 0
+    assert "purged 1 cache entries" in capsys.readouterr().out
+    assert list(tmp_path.glob("*.json")) == []
+
+
+def test_cache_commands_handle_missing_directory(tmp_path, capsys):
+    missing = tmp_path / "nowhere"
+    assert main(["cache", "stats", "--dir", str(missing)]) == 0
+    assert main(["cache", "verify", "--dir", str(missing)]) == 2
+    assert main(["cache", "purge", "--dir", str(missing)]) == 2
+
+
+def test_cache_commands_require_a_directory(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", "")
+    assert main(["cache", "stats"]) == 2
+    assert "caching is disabled" in capsys.readouterr().err
+
+
+def test_sweep_writes_event_log(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_EVENT_LOG", str(tmp_path / "events.jsonl"))
+    assert (
+        main(["sweep", "--kind", "baseline", "--scale", "0.0001",
+              "--slice-refs", "2000"]) == 0
+    )
+    from repro.core.observe import read_events
+
+    names = [event["event"] for event in read_events(tmp_path / "events.jsonl")]
+    assert "cell_started" in names
+    assert "cell_completed" in names
 
 
 def test_figures_writes_svgs(tmp_path, capsys, monkeypatch):

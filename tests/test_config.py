@@ -45,6 +45,13 @@ def test_from_env_empty_cache_dir_disables():
     assert config.cache_dir is None
 
 
+def test_from_env_event_log():
+    config = ExperimentConfig.from_env({"REPRO_EVENT_LOG": "/tmp/events.jsonl"})
+    assert config.event_log == Path("/tmp/events.jsonl")
+    assert ExperimentConfig.from_env({"REPRO_EVENT_LOG": ""}).event_log is None
+    assert ExperimentConfig.from_env({}).event_log is None
+
+
 def test_from_env_ignores_unrelated(monkeypatch):
     config = ExperimentConfig.from_env({})
     assert config == ExperimentConfig()

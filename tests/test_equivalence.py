@@ -22,7 +22,6 @@ from repro.core.params import (
 )
 from repro.systems.base import MemorySystem
 from repro.systems.factory import build_system
-from repro.trace.record import TraceChunk
 
 
 def conventional_params(block=256, assoc=1):

@@ -5,7 +5,6 @@ L1s, victim buffers, large TLBs and pipelined DRAM; each variant must
 stay observationally identical to the scalar reference path.
 """
 
-from dataclasses import replace
 
 import pytest
 

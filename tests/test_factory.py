@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.errors import ConfigurationError
-from repro.core.params import KIB, MIB, MachineParams
+from repro.core.params import KIB, MIB
 from repro.systems.conventional import ConventionalSystem
 from repro.systems.factory import (
     ISSUE_RATES_HZ,

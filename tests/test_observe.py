@@ -1,0 +1,143 @@
+"""Tests for the observability layer (events, counters, manifests)."""
+
+import json
+
+import pytest
+
+from repro.core.observe import (
+    CacheStats,
+    EventLog,
+    atomic_write_text,
+    manifest_path,
+    read_events,
+    read_manifest,
+    write_manifest,
+)
+
+
+# ----------------------------------------------------------------------
+# EventLog
+# ----------------------------------------------------------------------
+
+
+def test_emit_records_in_memory_and_on_disk(tmp_path):
+    path = tmp_path / "events.jsonl"
+    ticks = iter(range(10))
+    log = EventLog(path, clock=lambda: next(ticks))
+    log.emit("cell_started", key="abc", label="baseline")
+    log.emit("cell_completed", key="abc", wall_s=1.25)
+
+    assert [event["event"] for event in log.events] == [
+        "cell_started",
+        "cell_completed",
+    ]
+    lines = path.read_text("utf-8").splitlines()
+    assert len(lines) == 2
+    first = json.loads(lines[0])
+    assert first["event"] == "cell_started"
+    assert first["key"] == "abc"
+    assert first["ts"] == 0
+    assert isinstance(first["pid"], int)
+
+
+def test_memory_only_log_never_touches_disk(tmp_path):
+    log = EventLog(None)
+    log.emit("anything", n=1)
+    assert log.path is None
+    assert list(tmp_path.iterdir()) == []
+    assert log.of("anything") == [log.events[0]]
+
+
+def test_in_memory_tail_is_bounded():
+    log = EventLog(keep=3)
+    for index in range(10):
+        log.emit("tick", n=index)
+    assert [event["n"] for event in log.events] == [7, 8, 9]
+
+
+def test_two_logs_append_to_one_file(tmp_path):
+    """Concurrent sweeps share one JSONL file by appending lines."""
+    path = tmp_path / "events.jsonl"
+    EventLog(path).emit("a")
+    EventLog(path).emit("b")
+    assert [event["event"] for event in read_events(path)] == ["a", "b"]
+
+
+def test_read_events_skips_torn_trailing_line(tmp_path):
+    path = tmp_path / "events.jsonl"
+    EventLog(path).emit("good")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"event": "torn", "tr')  # crash mid-append
+    events = read_events(path)
+    assert [event["event"] for event in events] == ["good"]
+    assert read_events(tmp_path / "missing.jsonl") == []
+
+
+# ----------------------------------------------------------------------
+# atomic_write_text
+# ----------------------------------------------------------------------
+
+
+def test_atomic_write_creates_parents_and_replaces(tmp_path):
+    target = tmp_path / "deep" / "nested" / "file.json"
+    atomic_write_text(target, "one")
+    atomic_write_text(target, "two")
+    assert target.read_text("utf-8") == "two"
+    # No temp residue anywhere in the directory.
+    assert [item.name for item in target.parent.iterdir()] == ["file.json"]
+
+
+def test_atomic_write_failure_leaves_old_contents(tmp_path, monkeypatch):
+    import repro.core.observe as observe_mod
+
+    target = tmp_path / "file.json"
+    atomic_write_text(target, "committed")
+
+    def exploding_fsync(fd):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(observe_mod.os, "fsync", exploding_fsync)
+    with pytest.raises(OSError):
+        atomic_write_text(target, "half-written")
+    # The destination still holds the previous commit, and the torn
+    # temp file was cleaned up.
+    assert target.read_text("utf-8") == "committed"
+    assert [item.name for item in tmp_path.iterdir()] == ["file.json"]
+
+
+# ----------------------------------------------------------------------
+# CacheStats + manifest
+# ----------------------------------------------------------------------
+
+
+def test_cache_stats_accounting():
+    stats = CacheStats(hits_memory=2, hits_disk=3, misses=4)
+    assert stats.hits == 5
+    assert stats.as_dict()["misses"] == 4
+    assert set(stats.as_dict()) == {
+        "hits_memory",
+        "hits_disk",
+        "misses",
+        "stores",
+        "quarantined",
+        "evictions",
+    }
+
+
+def test_manifest_round_trip(tmp_path):
+    payload = {"grids": ["baseline"], "cache": CacheStats(misses=6).as_dict()}
+    path = write_manifest(tmp_path, payload)
+    assert path == manifest_path(tmp_path)
+    loaded = read_manifest(tmp_path)
+    assert loaded["schema"].startswith("rampage-manifest/")
+    assert loaded["grids"] == ["baseline"]
+    assert loaded["cache"]["misses"] == 6
+
+
+def test_read_manifest_tolerates_absence_and_garbage(tmp_path):
+    assert read_manifest(tmp_path) is None
+    manifest_path(tmp_path).parent.mkdir(parents=True)
+    manifest_path(tmp_path).write_text("{ torn", "utf-8")
+    assert read_manifest(tmp_path) is None
+    manifest_path(tmp_path).write_text("[1, 2]", "utf-8")
+    assert read_manifest(tmp_path) is None

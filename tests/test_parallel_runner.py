@@ -11,8 +11,14 @@ import os
 from pathlib import Path
 
 import repro.experiments.parallel as parallel_mod
+from repro.analysis.runtime import RunRecord
+from repro.core.observe import read_manifest
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.parallel import ParallelRunner, _simulate_cell
+from repro.experiments.parallel import (
+    ParallelRunner,
+    _simulate_cell,
+    _simulate_cell_timed,
+)
 from repro.experiments.replication import replicate
 from repro.experiments.runner import Runner
 from repro.systems.factory import baseline_machine
@@ -106,6 +112,56 @@ def test_pool_failure_degrades_to_in_process(tmp_path, monkeypatch):
     monkeypatch.setattr(par, "_prefetch_pool", boom)
     assert par.prefetch(LABELS) == 4
     assert par.pending_cells(LABELS) == []
+
+
+def test_partial_pool_failure_never_double_fires_progress(tmp_path, monkeypatch):
+    """Cells committed (and reported) by the pool before it died must
+    not be re-reported by the serial fallback: ``done`` stays monotonic
+    and each count fires exactly once over one shared total."""
+    events = []
+    par = ParallelRunner(
+        config(tmp_path),
+        workers=4,
+        progress=lambda done, total, record: events.append((done, total)),
+    )
+
+    def partial_pool(pending):
+        # Complete one cell the way the real pool does -- store it and
+        # fire the progress callback -- then die.
+        spec = pending[0]
+        record = RunRecord.from_dict(_simulate_cell(spec))
+        par._store(par._cache_key(spec.params), record)
+        par.progress(1, len(pending), record)
+        raise RuntimeError("pool died mid-sweep")
+
+    monkeypatch.setattr(par, "_prefetch_pool", partial_pool)
+    assert par.prefetch(LABELS) == 4
+    assert events == [(1, 4), (2, 4), (3, 4), (4, 4)]
+    assert par.pending_cells(LABELS) == []
+
+
+def test_worker_timed_wraps_untimed(tmp_path):
+    par = ParallelRunner(config(tmp_path), workers=1)
+    spec = par.pending_cells(("baseline",))[0]
+    payload, wall_s = _simulate_cell_timed(spec)
+    assert payload == _simulate_cell(spec)
+    assert wall_s > 0
+
+
+def test_prefetch_emits_sweep_events_and_manifest(tmp_path):
+    par = ParallelRunner(config(tmp_path), workers=1)
+    assert par.prefetch(LABELS) == 4
+    started = par.events.of("sweep_started")
+    completed = par.events.of("sweep_completed")
+    assert len(started) == len(completed) == 1
+    assert started[0]["pending"] == 4
+    assert completed[0]["cells"] == 4
+    assert completed[0]["wall_s"] > 0
+    assert len(par.events.of("cell_completed")) == 4
+    manifest = read_manifest(tmp_path)
+    assert manifest["entries"] == 4
+    assert manifest["cache"]["stores"] == 4
+    assert manifest["cache"]["quarantined"] == 0
 
 
 def test_single_worker_never_builds_a_pool(tmp_path, monkeypatch):

@@ -1,10 +1,8 @@
 """Behavioural tests for the RAMpage machine."""
 
-import pytest
 
 from repro.core.params import (
     KIB,
-    MIB,
     HandlerCosts,
     MachineParams,
     RampageParams,

@@ -62,6 +62,23 @@ class TestReplicate:
         )
         assert all(v == int(v) for v in result.values)
 
+    def test_duplicate_seeds_rejected(self):
+        with pytest.raises(ConfigurationError, match="unique"):
+            replicate(baseline_machine(10**9, 1024), TINY, seeds=(0, 1, 0))
+
+    def test_events_emitted(self):
+        from repro.core.observe import EventLog
+
+        events = EventLog()
+        replicate(
+            baseline_machine(10**9, 1024), TINY, seeds=(0, 1), events=events
+        )
+        assert [e["event"] for e in events.events] == [
+            "replication_started",
+            "replication_completed",
+        ]
+        assert events.events[1]["mean"] > 0
+
 
 class TestCompare:
     def test_compare_structure(self):

@@ -1,8 +1,7 @@
 """Tests for the RAMpage SRAM main memory."""
 
-import pytest
 
-from repro.core.params import KIB, MIB, RampageParams
+from repro.core.params import KIB, RampageParams
 from repro.mem.inverted_page_table import FREE
 from repro.mem.sram_memory import SramMainMemory
 

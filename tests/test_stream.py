@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.errors import TraceFormatError
 from repro.trace import stream
-from repro.trace.record import IFETCH, READ, Reference, TraceChunk
+from repro.trace.record import IFETCH, READ, TraceChunk
 
 
 def chunk_of(n, pid=0, kind=READ, start=0):

@@ -16,7 +16,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.params import (
     KIB,
-    MIB,
     CacheParams,
     HandlerCosts,
     MachineParams,

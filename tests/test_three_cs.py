@@ -4,8 +4,8 @@ import pytest
 
 from repro.analysis.three_cs import ThreeCsProbe, ThreeCsResult, classify_l2_misses
 from repro.core.errors import ConfigurationError
-from repro.core.params import MIB, CacheParams, MachineParams
-from repro.systems.factory import baseline_machine, rampage_machine, twoway_machine
+from repro.core.params import CacheParams, MachineParams
+from repro.systems.factory import rampage_machine
 from repro.trace.benchmarks import TABLE2_PROGRAMS
 from repro.trace.synthetic import SyntheticProgram
 

@@ -1,6 +1,5 @@
 """Tests for the TLB."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.params import TlbParams

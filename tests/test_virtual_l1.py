@@ -10,7 +10,7 @@ from repro.systems.factory import baseline_machine, rampage_machine
 from repro.systems.simulator import Simulator
 from repro.systems.virtual_l1 import OS_PID, VirtualL1RampageSystem
 from repro.trace.interleave import InterleavedWorkload
-from repro.trace.record import IFETCH, READ, WRITE, TraceChunk
+from repro.trace.record import IFETCH, READ, WRITE
 from repro.trace.synthetic import build_workload
 
 NO_HANDLERS = HandlerCosts(
