@@ -28,11 +28,13 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.analysis.runtime import RunGrid, RunRecord
+from repro.core.errors import CacheIntegrityError
 from repro.core.params import MachineParams
 from repro.core.timer import ScopedTimer, refs_per_second
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import Runner
 from repro.systems.simulator import simulate
+from repro.trace.materialize import attach_workload, get_workload
 from repro.trace.synthetic import build_workload
 
 #: Progress callback: (cells done, cells total, record just completed).
@@ -49,7 +51,11 @@ class CellSpec:
     """One pending grid cell, as shipped to a worker process.
 
     Carries everything a worker needs to reproduce the cell from
-    scratch; nothing else crosses the process boundary.
+    scratch; nothing else crosses the process boundary.  When the
+    parent has materialized the workload (``trace_dir``), the worker
+    attaches to the shared on-disk artifact by mmap instead of
+    re-running trace synthesis -- only the *path* crosses the process
+    boundary, never the arrays.
     """
 
     label: str
@@ -57,6 +63,24 @@ class CellSpec:
     scale: float
     slice_refs: int
     seed: int
+    trace_dir: str | None = None
+
+
+def _cell_workload(spec: CellSpec) -> list:
+    """Resolve a cell's workload, preferring the shared trace artifact.
+
+    Attaching is memoized per process, so a pool worker that simulates
+    many cells pays one mmap attach, zero syntheses.  An invalid or
+    vanished artifact degrades to live synthesis -- the streams are
+    byte-identical, so the record is unaffected; the parent's own
+    attach path is responsible for quarantining.
+    """
+    if spec.trace_dir is not None:
+        try:
+            return attach_workload(spec.trace_dir, slice_refs=spec.slice_refs)
+        except CacheIntegrityError:
+            pass
+    return build_workload(spec.scale, seed=spec.seed)
 
 
 def _simulate_cell(spec: CellSpec) -> dict:
@@ -66,7 +90,7 @@ def _simulate_cell(spec: CellSpec) -> dict:
     parent commits it through the same ``from_dict``/``as_dict``
     round-trip the disk cache uses -- byte-identical JSON either way.
     """
-    programs = build_workload(spec.scale, seed=spec.seed)
+    programs = _cell_workload(spec)
     result = simulate(spec.params, programs, slice_refs=spec.slice_refs)
     record = RunRecord.from_result(
         spec.label, spec.params.transfer_unit_bytes, result
@@ -106,14 +130,37 @@ class ParallelRunner(Runner):
         config: ExperimentConfig | None = None,
         workers: int | None = None,
         progress: ProgressFn | None = None,
+        materialize: bool = True,
     ) -> None:
-        super().__init__(config)
+        super().__init__(config, materialize=materialize)
         self.workers = default_workers() if workers is None else max(1, int(workers))
         self.progress = progress
 
     # ------------------------------------------------------------------
     # Pending-cell enumeration
     # ------------------------------------------------------------------
+
+    def _trace_artifact(self) -> str | None:
+        """Materialize the sweep's workload; returns its artifact path.
+
+        Called before cells are dispatched so the artifact exists on
+        disk by the time any worker starts -- workers then attach by
+        mmap instead of each re-running synthesis.  ``None`` when
+        materialization is off or there is no cache directory to hold
+        the artifact (workers fall back to per-process synthesis).
+        """
+        if not self.materialize or self.config.cache_dir is None:
+            return None
+        plane = get_workload(
+            self.config.scale,
+            self.config.seed,
+            cache_dir=self.config.cache_dir,
+            events=self.events,
+            slice_refs=self.config.slice_refs,
+        )
+        if self._programs is None:
+            self._programs = plane.programs
+        return str(plane.path) if plane.path is not None else None
 
     def _cell_spec(self, label: str, params: MachineParams) -> CellSpec:
         config = self.config
@@ -123,6 +170,7 @@ class ParallelRunner(Runner):
             scale=config.scale,
             slice_refs=config.slice_refs,
             seed=config.seed,
+            trace_dir=self._trace_artifact(),
         )
 
     def pending_cells(self, labels: Sequence[str]) -> list[CellSpec]:

@@ -61,11 +61,8 @@ from repro.systems.factory import (
     twoway_machine,
 )
 from repro.systems.simulator import simulate
+from repro.trace.materialize import WORKLOAD_VERSION, get_workload
 from repro.trace.synthetic import build_workload
-
-#: Bumped whenever trace generation or timing semantics change, so stale
-#: cached records are never mixed with fresh ones.
-WORKLOAD_VERSION = "wv4"
 
 #: Cache-file envelope schema, bumped when the envelope layout changes.
 CACHE_SCHEMA = "rampage-cache/1"
@@ -185,12 +182,39 @@ class Runner:
         self,
         config: ExperimentConfig | None = None,
         events: EventLog | None = None,
+        materialize: bool = True,
     ) -> None:
         self.config = config if config is not None else ExperimentConfig.from_env()
         self.events = events if events is not None else EventLog(self.config.event_log)
         self.cache_stats = CacheStats()
+        self.materialize = materialize
         self._memory: dict[str, RunRecord] = {}
         self._grids: dict[str, RunGrid] = {}
+        self._programs: list | None = None
+
+    def _workload(self) -> list:
+        """The workload every cell of this runner simulates.
+
+        With materialization on (the default) the reference stream is
+        synthesized once per ``(scale, seed)`` per process -- all grid
+        cells, grids and runners share one
+        :class:`~repro.trace.materialize.MaterializedWorkload`, backed
+        by an on-disk mmap artifact when caching is enabled.  With it
+        off, every call re-runs live synthesis (the pre-plane
+        behaviour, kept for benchmarking the difference); both paths
+        produce byte-identical reference streams and records.
+        """
+        if not self.materialize:
+            return build_workload(self.config.scale, seed=self.config.seed)
+        if self._programs is None:
+            self._programs = get_workload(
+                self.config.scale,
+                self.config.seed,
+                cache_dir=self.config.cache_dir,
+                events=self.events,
+                slice_refs=self.config.slice_refs,
+            ).programs
+        return self._programs
 
     # ------------------------------------------------------------------
     # Single cells
@@ -291,7 +315,7 @@ class Runner:
             size_bytes=params.transfer_unit_bytes,
         )
         with ScopedTimer() as timer:
-            programs = build_workload(self.config.scale, seed=self.config.seed)
+            programs = self._workload()
             result = simulate(params, programs, slice_refs=self.config.slice_refs)
         record = RunRecord.from_result(label, params.transfer_unit_bytes, result)
         self._store(key, record)

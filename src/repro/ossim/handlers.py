@@ -18,6 +18,17 @@ handlers are straight-line); data references touch the page-table
 entries involved.  Entry addresses for hash-chain probes are derived
 deterministically from the vpn so repeated misses to the same page
 touch the same table memory.
+
+Sequences are produced as ordered **parts**, ``(shared, refs)`` pairs:
+the code walks are pure functions of ``(base, count)`` and repeat on
+every invocation, so those lists are memoized and shared across calls
+(the ``shared`` flag tells executors the list object is stable and
+worth compiling into runs).  Data parts are small per-call lists:
+page-fault vpns almost never repeat, so memoizing fault data would
+only churn, while TLB misses cluster on hot pages, so whole TLB-miss
+parts lists are memoized by ``(vpn, probes)``.  Memoized lists are
+immutable by contract, the same rule the per-pid context switch cache
+has always imposed.
 """
 
 from __future__ import annotations
@@ -37,6 +48,14 @@ SCAN_FRAMES_PER_WORD = 32
 SCAN_INSTR_PER_WORD = 4
 SCAN_DATA_PER_WORD = 1
 
+#: Bound on memoized code walks.  A full memo is cleared wholesale:
+#: rebuild is one list per entry and the handful of hot shapes is
+#: restored immediately.
+_MEMO_MAX = 4096
+
+#: One handler part: a shared/compile-worthy flag plus the references.
+Part = tuple[bool, list[tuple[int, int]]]
+
 
 class HandlerLibrary:
     """Builds handler reference sequences for one machine."""
@@ -51,40 +70,75 @@ class HandlerLibrary:
         self._fault_code = layout.code_base + third
         self._switch_code = layout.code_base + 2 * third
         self._code_limit = layout.code_base + layout.code_bytes
-        self._switch_cache: dict[int, list[tuple[int, int]]] = {}
+        self._switch_parts: dict[int, tuple[Part, ...]] = {}
+        self._switch_flat: dict[int, list[tuple[int, int]]] = {}
+        self._code_cache: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        self._tlb_parts_cache: dict[tuple[int, int], list[Part]] = {}
 
     def _code_refs(self, base: int, count: int) -> list[tuple[int, int]]:
-        limit = self._code_limit
-        span = max(_WORD, limit - base)
-        return [
-            (IFETCH, base + (i * _WORD) % span) for i in range(count)
-        ]
+        key = (base, count)
+        cached = self._code_cache.get(key)
+        if cached is None:
+            if len(self._code_cache) >= _MEMO_MAX:
+                self._code_cache.clear()
+            span = max(_WORD, self._code_limit - base)
+            cached = self._code_cache[key] = [
+                (IFETCH, base + (i * _WORD) % span) for i in range(count)
+            ]
+        return cached
 
     def _entry_addr(self, vpn: int, probe: int) -> int:
         index = ((vpn * _HASH_MULT) >> 7) + probe
         return self.layout.entry_addr(index)
 
-    def tlb_miss_refs(self, vpn: int, probes: int) -> list[tuple[int, int]]:
+    def tlb_miss_parts(self, vpn: int, probes: int) -> list[Part]:
         """The inverted-page-table lookup for one TLB miss.
 
         ``probes`` comes from the real hash-chain walk; each probe past
         the first adds chain-following instructions and entry loads.
+
+        TLB misses cluster on a small set of hot pages (unlike faults,
+        whose vpns almost never repeat), so built parts lists are
+        memoized by ``(vpn, probes)``.
         """
         if probes < 1:
             raise ConfigurationError(f"probes must be >= 1, got {probes}")
+        key = (vpn, probes)
+        cached = self._tlb_parts_cache.get(key)
+        if cached is not None:
+            return cached
         costs = self.costs
-        refs = self._code_refs(self._tlb_code, costs.tlb_instr)
-        for d in range(costs.tlb_data):
-            refs.append((READ, self._entry_addr(vpn, d)))
+        entry = self._entry_addr
+        parts: list[Part] = [
+            (True, self._code_refs(self._tlb_code, costs.tlb_instr)),
+            (False, [(READ, entry(vpn, d)) for d in range(costs.tlb_data)]),
+        ]
         for probe in range(1, probes):
-            refs.extend(
-                self._code_refs(self._tlb_code, costs.tlb_probe_instr)
+            parts.append(
+                (True, self._code_refs(self._tlb_code, costs.tlb_probe_instr))
             )
-            for d in range(costs.tlb_probe_data):
-                refs.append((READ, self._entry_addr(vpn, probe * 4 + d)))
+            parts.append(
+                (
+                    False,
+                    [
+                        (READ, entry(vpn, probe * 4 + d))
+                        for d in range(costs.tlb_probe_data)
+                    ],
+                )
+            )
+        if len(self._tlb_parts_cache) >= _MEMO_MAX:
+            self._tlb_parts_cache.clear()
+        self._tlb_parts_cache[key] = parts
+        return parts
+
+    def tlb_miss_refs(self, vpn: int, probes: int) -> list[tuple[int, int]]:
+        """Flattened :meth:`tlb_miss_parts` (scalar paths, tests)."""
+        refs: list[tuple[int, int]] = []
+        for _, part in self.tlb_miss_parts(vpn, probes):
+            refs.extend(part)
         return refs
 
-    def page_fault_refs(self, vpn: int, scanned: int) -> list[tuple[int, int]]:
+    def page_fault_parts(self, vpn: int, scanned: int) -> list[Part]:
         """The page-fault path: fault dispatch, clock scan, table update.
 
         ``scanned`` is the number of frames the clock hand examined; the
@@ -94,47 +148,82 @@ class HandlerLibrary:
         if scanned < 0:
             raise ConfigurationError(f"scanned must be >= 0, got {scanned}")
         costs = self.costs
-        refs = self._code_refs(self._fault_code, costs.fault_instr)
-        for d in range(costs.fault_data):
-            kind = WRITE if d % 3 == 2 else READ
-            refs.append((kind, self._entry_addr(vpn, d)))
-        if scanned:
-            words = -(-scanned // SCAN_FRAMES_PER_WORD)
-            refs.extend(
-                self._code_refs(self._fault_code, SCAN_INSTR_PER_WORD * words)
+        entry = self._entry_addr
+        parts: list[Part] = [
+            (True, self._code_refs(self._fault_code, costs.fault_instr)),
+            (
+                False,
+                [
+                    (WRITE if d % 3 == 2 else READ, entry(vpn, d))
+                    for d in range(costs.fault_data)
+                ],
+            ),
+        ]
+        words = -(-scanned // SCAN_FRAMES_PER_WORD)
+        if words:
+            parts.append(
+                (
+                    True,
+                    self._code_refs(
+                        self._fault_code, SCAN_INSTR_PER_WORD * words
+                    ),
+                )
             )
-            for word in range(words):
-                refs.append((WRITE, self._entry_addr(vpn + 1, word)))
+            parts.append(
+                (False, [(WRITE, entry(vpn + 1, w)) for w in range(words)])
+            )
+        return parts
+
+    def page_fault_refs(self, vpn: int, scanned: int) -> list[tuple[int, int]]:
+        """Flattened :meth:`page_fault_parts` (scalar paths, tests)."""
+        refs: list[tuple[int, int]] = []
+        for _, part in self.page_fault_parts(vpn, scanned):
+            refs.extend(part)
         return refs
 
-    def context_switch_refs(self, pid: int) -> list[tuple[int, int]]:
+    def context_switch_parts(self, pid: int) -> tuple[Part, ...]:
         """The ~400-reference context switch (section 4.6).
 
         Data references save/restore the process control block, whose
-        address depends on the pid; sequences are cached per pid.
+        address depends on the pid; both parts are stable per pid (and
+        cached), so both are shared/compile-worthy.
         """
-        cached = self._switch_cache.get(pid)
+        cached = self._switch_parts.get(pid)
         if cached is not None:
             return cached
         costs = self.costs
-        refs = self._code_refs(self._switch_code, costs.switch_instr)
         pcb_bytes = 256
         slots = max(1, self.layout.data_bytes // pcb_bytes)
         pcb_base = self.layout.data_base + (pid % slots) * pcb_bytes
-        for d in range(costs.switch_data):
-            kind = WRITE if d % 2 == 0 else READ
-            refs.append((kind, pcb_base + (d * _WORD) % pcb_bytes))
-        self._switch_cache[pid] = refs
-        return refs
+        data = [
+            (WRITE if d % 2 == 0 else READ, pcb_base + (d * _WORD) % pcb_bytes)
+            for d in range(costs.switch_data)
+        ]
+        cached = self._switch_parts[pid] = (
+            (True, self._code_refs(self._switch_code, costs.switch_instr)),
+            (True, data),
+        )
+        return cached
+
+    def context_switch_refs(self, pid: int) -> list[tuple[int, int]]:
+        """Flattened :meth:`context_switch_parts`, cached per pid."""
+        cached = self._switch_flat.get(pid)
+        if cached is None:
+            cached = self._switch_flat[pid] = [
+                ref
+                for _, part in self.context_switch_parts(pid)
+                for ref in part
+            ]
+        return cached
 
     def tlb_miss_ref_count(self, probes: int) -> int:
-        """Reference count of :meth:`tlb_miss_refs` without building it."""
+        """Reference count of :meth:`tlb_miss_parts` without building it."""
         costs = self.costs
         extra = (probes - 1) * (costs.tlb_probe_instr + costs.tlb_probe_data)
         return costs.tlb_instr + costs.tlb_data + extra
 
     def page_fault_ref_count(self, scanned: int) -> int:
-        """Reference count of :meth:`page_fault_refs` without building it."""
+        """Reference count of :meth:`page_fault_parts` without building it."""
         costs = self.costs
         words = -(-scanned // SCAN_FRAMES_PER_WORD) if scanned else 0
         scan = words * (SCAN_INSTR_PER_WORD + SCAN_DATA_PER_WORD)

@@ -75,9 +75,9 @@ class ConventionalSystem(MemorySystem):
         frame = self.page_table.get(gvpn)
         if frame is None:
             frame = self._alloc_frame(gvpn)
-        refs = self.handlers.tlb_miss_refs(gvpn, probes=1)
-        self.stats.tlb_handler_refs += len(refs)
-        self._run_handler(refs)
+        parts = self.handlers.tlb_miss_parts(gvpn, probes=1)
+        self.stats.tlb_handler_refs += self.handlers.tlb_miss_ref_count(1)
+        self._run_handler_parts(parts)
         self.tlb.insert(gvpn, frame)
         return frame
 

@@ -60,9 +60,9 @@ class RampageSystem(MemorySystem):
         counts = self.stats.tlb_misses_by_pid
         counts[pid] = counts.get(pid, 0) + 1
         frame, probes = self.sram.translate(gvpn)
-        refs = self.handlers.tlb_miss_refs(gvpn, probes)
-        self.stats.tlb_handler_refs += len(refs)
-        self._run_handler(refs)
+        parts = self.handlers.tlb_miss_parts(gvpn, probes)
+        self.stats.tlb_handler_refs += self.handlers.tlb_miss_ref_count(probes)
+        self._run_handler_parts(parts)
         if frame == -1:
             frame = self._page_fault(gvpn)
         self.tlb.insert(gvpn, frame)
@@ -84,9 +84,11 @@ class RampageSystem(MemorySystem):
         pid = gvpn >> self._vpn_space_bits
         stats.faults_by_pid[pid] = stats.faults_by_pid.get(pid, 0) + 1
         outcome = self.sram.fault(gvpn)
-        refs = self.handlers.page_fault_refs(gvpn, outcome.scanned)
-        stats.fault_handler_refs += len(refs)
-        self._run_handler(refs)
+        parts = self.handlers.page_fault_parts(gvpn, outcome.scanned)
+        stats.fault_handler_refs += self.handlers.page_fault_ref_count(
+            outcome.scanned
+        )
+        self._run_handler_parts(parts)
         if outcome.unmapped_vpn is not None:
             # The victim's translation is gone; flush its TLB entry
             # (section 2.3: "if a page is replaced ... its entry in the

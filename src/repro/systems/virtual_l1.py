@@ -169,9 +169,11 @@ class VirtualL1RampageSystem(RampageSystem):
         pid = gvpn >> self._vpn_space_bits
         stats.faults_by_pid[pid] = stats.faults_by_pid.get(pid, 0) + 1
         outcome = self.sram.fault(gvpn)
-        refs = self.handlers.page_fault_refs(gvpn, outcome.scanned)
-        stats.fault_handler_refs += len(refs)
-        self._run_handler(refs)
+        parts = self.handlers.page_fault_parts(gvpn, outcome.scanned)
+        stats.fault_handler_refs += self.handlers.page_fault_ref_count(
+            outcome.scanned
+        )
+        self._run_handler_parts(parts)
         if outcome.unmapped_vpn is not None:
             self.tlb.flush_vpn(outcome.unmapped_vpn)
         if outcome.soft:

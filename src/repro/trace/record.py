@@ -117,6 +117,41 @@ class ChunkRuns:
             n=self.n - consumed,
         )
 
+    def prefix(self, count: int, kinds: np.ndarray) -> "ChunkRuns":
+        """Runs for the chunk's first ``count`` references.
+
+        An arbitrary cut can land mid-run; every per-run field of the
+        truncated run is unchanged except its length and write count,
+        and the write count is recovered by rescanning only the
+        truncated run's own references (``kinds`` is the parent chunk's
+        kind array) -- O(one run), not a fresh translation pass.
+        """
+        if count >= self.n:
+            return self
+        idx = bisect_left(self.starts, count)
+        starts = self.starts[:idx]
+        lengths = self.lengths[:idx]
+        writes = self.writes[:idx]
+        last_start = starts[-1]
+        if last_start + lengths[-1] > count:
+            lengths[-1] = count - last_start
+            if writes[-1]:
+                writes[-1] = int(
+                    np.count_nonzero(kinds[last_start:count] == WRITE)
+                )
+        return ChunkRuns(
+            key=self.key,
+            starts=starts,
+            lengths=lengths,
+            gvpns=self.gvpns[:idx],
+            offsets=self.offsets[:idx],
+            bips=self.bips[:idx],
+            is_ifetch=self.is_ifetch[:idx],
+            writes=writes,
+            first_kinds=self.first_kinds[:idx],
+            n=count,
+        )
+
 
 def _compute_runs(
     chunk: "TraceChunk", page_bits: int, l1_block_bits: int, vpn_space_bits: int
@@ -181,7 +216,28 @@ class TraceChunk:
     _addrs_list: list[int] | None = field(
         default=None, repr=False, compare=False
     )
-    _runs: ChunkRuns | None = field(default=None, repr=False, compare=False)
+    #: Per-geometry map of pre-translated runs (see :meth:`runs_for`).
+    _runs: dict[tuple[int, int, int], ChunkRuns] | None = field(
+        default=None, repr=False, compare=False
+    )
+    #: Lazy link into a parent chunk's run map: ``(parent, start, stop)``
+    #: in the parent's reference coordinates.  A split chunk derives a
+    #: geometry's runs from the parent on first use instead of eagerly
+    #: slicing every cached geometry at split time -- preemption splits
+    #: are frequent under switch-on-miss, and most geometries in a
+    #: shared chunk's map belong to other grid cells.
+    _runs_src: "tuple[TraceChunk, int, int] | None" = field(
+        default=None, repr=False, compare=False
+    )
+
+    #: Bound on cached geometries per chunk.  Sweeps that alternate
+    #: machine geometries over one shared chunk (the RAMpage
+    #: 128 B-4 KB page-size sweep crosses 6, plus the fixed
+    #: conventional geometry) must all fit or the map thrashes like
+    #: the single slot it replaced; FIFO eviction above the bound
+    #: keeps worst-case memory proportional to a handful of run
+    #: structures per chunk.
+    RUNS_CACHE_MAX = 8
 
     def __post_init__(self) -> None:
         if len(self.kinds) != len(self.addrs):
@@ -210,21 +266,61 @@ class TraceChunk:
     def runs_for(
         self, page_bits: int, l1_block_bits: int, vpn_space_bits: int
     ) -> ChunkRuns:
-        """Return (computing lazily) the pre-translated run structure."""
-        runs = self._runs
+        """Return (computing lazily) the pre-translated run structure.
+
+        Cached per geometry: a chunk shared across grid cells that
+        alternate machine geometries (page-size sweeps, mixed grids
+        over one materialized workload) keeps every geometry's runs
+        instead of recomputing on each alternation.
+        """
+        cache = self._runs
+        if cache is None:
+            cache = self._runs = {}
         key = (page_bits, l1_block_bits, vpn_space_bits)
-        if runs is None or runs.key != key:
-            runs = _compute_runs(self, page_bits, l1_block_bits, vpn_space_bits)
-            self._runs = runs
+        runs = cache.get(key)
+        if runs is None:
+            runs = self._derived_runs(key)
+            if runs is None:
+                runs = _compute_runs(
+                    self, page_bits, l1_block_bits, vpn_space_bits
+                )
+            if len(cache) >= self.RUNS_CACHE_MAX:
+                cache.pop(next(iter(cache)))
+            cache[key] = runs
+        return runs
+
+    def _derived_runs(self, key: tuple[int, int, int]) -> ChunkRuns | None:
+        """Slice ``key``'s runs out of the parent window, if possible.
+
+        Returns None -- recompute from the arrays -- when there is no
+        parent link, the parent never computed this geometry, or the
+        window starts mid-run (only the run *ending* the window can be
+        patched up; see :meth:`ChunkRuns.prefix`).
+        """
+        src = self._runs_src
+        if src is None:
+            return None
+        parent, start, stop = src
+        base = parent._runs.get(key) if parent._runs else None
+        if base is None:
+            return None
+        runs = base.suffix(start)
+        if runs is None:
+            return None
+        count = stop - start
+        if count < runs.n:
+            runs = runs.prefix(count, parent.kinds[start:])
         return runs
 
     def tail(self, consumed: int) -> "TraceChunk":
         """The unconsumed suffix as a new chunk.
 
-        Arrays are numpy views (no copy); cached list views and run
-        structures are sliced rather than re-derived, so handing a
-        preemption tail back to the scheduler costs O(tail), not a
-        fresh materialisation of the whole chunk.
+        Arrays are numpy views (no copy); cached list views are sliced,
+        and the run map is linked lazily -- the tail derives a
+        geometry's runs from the parent the first time a machine asks
+        for it (:meth:`_derived_runs`), so handing a preemption tail
+        back to the scheduler costs O(tail) for the one geometry in
+        use, not an eager slice of every cached geometry.
         """
         chunk = TraceChunk(
             pid=self.pid,
@@ -235,17 +331,21 @@ class TraceChunk:
             chunk._kinds_list = self._kinds_list[consumed:]
         if self._addrs_list is not None:
             chunk._addrs_list = self._addrs_list[consumed:]
-        if self._runs is not None:
-            chunk._runs = self._runs.suffix(consumed)
+        if self._runs:
+            chunk._runs_src = (self, consumed, len(self.kinds))
+        elif self._runs_src is not None:
+            parent, start, stop = self._runs_src
+            chunk._runs_src = (parent, start + consumed, stop)
         return chunk
 
     def head(self, count: int) -> "TraceChunk":
         """The first ``count`` references as a new chunk.
 
-        Like :meth:`tail`, arrays are views and cached list views are
-        sliced.  Run structures are not propagated: an arbitrary cut
-        can land mid-run, and a truncated run's write count cannot be
-        fixed up without rescanning, so the head recomputes lazily.
+        Like :meth:`tail`, arrays are views, cached list views are
+        sliced, and runs derive lazily from the parent window.  A cut
+        landing mid-run only costs a rescan of that one run's
+        references (:meth:`ChunkRuns.prefix`), far cheaper than the
+        full translation pass the head would otherwise repeat.
         """
         chunk = TraceChunk(
             pid=self.pid,
@@ -256,6 +356,11 @@ class TraceChunk:
             chunk._kinds_list = self._kinds_list[:count]
         if self._addrs_list is not None:
             chunk._addrs_list = self._addrs_list[:count]
+        if self._runs:
+            chunk._runs_src = (self, 0, count)
+        elif self._runs_src is not None:
+            parent, start, stop = self._runs_src
+            chunk._runs_src = (parent, start, start + count)
         return chunk
 
     def references(self) -> Iterator[Reference]:

@@ -86,6 +86,43 @@ def test_runs_cached_and_keyed_by_geometry():
     other = chunk.runs_for(PAGE_BITS, L1_BLOCK_BITS + 1, VPN_SPACE_BITS)
     assert other is not first
     assert other.key != first.key
+    # The map keeps both: returning to the first geometry is a hit.
+    assert chunk.runs_for(*GEOMETRY) is first
+    assert chunk.runs_for(PAGE_BITS, L1_BLOCK_BITS + 1, VPN_SPACE_BITS) is other
+
+
+def test_alternating_geometries_compute_once_each(monkeypatch):
+    """Two geometries alternating over one chunk (the page-size-sweep
+    pattern over a shared materialized chunk) must not thrash: one
+    ``_compute_runs`` call per geometry, every later probe a hit."""
+    import repro.trace.record as record_mod
+
+    chunk = random_chunks(13, n_chunks=1)[0]
+    calls = []
+    real = record_mod._compute_runs
+
+    def counting(chunk_, *geometry):
+        calls.append(geometry)
+        return real(chunk_, *geometry)
+
+    monkeypatch.setattr(record_mod, "_compute_runs", counting)
+    small = (7, L1_BLOCK_BITS, VPN_SPACE_BITS)
+    large = (12, L1_BLOCK_BITS, VPN_SPACE_BITS)
+    for _ in range(4):
+        chunk.runs_for(*small)
+        chunk.runs_for(*large)
+    assert calls == [small, large]
+
+
+def test_runs_map_is_bounded():
+    chunk = random_chunks(17, n_chunks=1)[0]
+    limit = TraceChunk.RUNS_CACHE_MAX
+    for extra in range(limit + 3):
+        chunk.runs_for(PAGE_BITS, L1_BLOCK_BITS, VPN_SPACE_BITS + extra)
+    assert len(chunk._runs) == limit
+    # FIFO: the oldest geometries were evicted, the newest survive.
+    assert (PAGE_BITS, L1_BLOCK_BITS, VPN_SPACE_BITS + limit + 2) in chunk._runs
+    assert (PAGE_BITS, L1_BLOCK_BITS, VPN_SPACE_BITS) not in chunk._runs
 
 
 def test_empty_chunk_has_empty_runs():
@@ -94,16 +131,27 @@ def test_empty_chunk_has_empty_runs():
     assert runs.starts == []
 
 
-def test_tail_slices_runs_at_run_boundary():
+def forbid_compute(monkeypatch):
+    """Make any full run recomputation fail the test."""
+    import repro.trace.record as record_mod
+
+    def boom(*args):
+        raise AssertionError("_compute_runs called; expected derivation")
+
+    monkeypatch.setattr(record_mod, "_compute_runs", boom)
+
+
+def test_tail_slices_runs_at_run_boundary(monkeypatch):
     chunk = random_chunks(11, n_chunks=1)[0]
     runs = chunk.runs_for(*GEOMETRY)
     cut = runs.starts[len(runs.starts) // 2]
-    tail = chunk.tail(cut)
-    assert tail._runs is not None  # sliced, not recomputed
     fresh = TraceChunk(
         pid=chunk.pid, kinds=chunk.kinds[cut:], addrs=chunk.addrs[cut:]
     ).runs_for(*GEOMETRY)
-    sliced = tail._runs
+    tail = chunk.tail(cut)
+    assert tail._runs_src is not None  # linked, not recomputed
+    forbid_compute(monkeypatch)
+    sliced = tail.runs_for(*GEOMETRY)
     assert sliced.starts == fresh.starts
     assert sliced.lengths == fresh.lengths
     assert sliced.gvpns == fresh.gvpns
@@ -126,6 +174,27 @@ def test_tail_mid_run_recomputes():
     assert runs.lengths == [2]
 
 
+def test_chained_splits_derive_through_original_parent(monkeypatch):
+    """tail-of-tail and head-of-tail keep one link to the chunk that
+    actually holds the runs, so repeated preemption splits stay O(1)
+    at split time and derive only the requested geometry on use."""
+    chunk = random_chunks(15, n_chunks=1)[0]
+    runs = chunk.runs_for(*GEOMETRY)
+    other = (PAGE_BITS + 1, L1_BLOCK_BITS, VPN_SPACE_BITS)
+    chunk.runs_for(*other)
+    cut_a = runs.starts[len(runs.starts) // 3]
+    cut_b = runs.starts[2 * len(runs.starts) // 3] - cut_a
+    tail = chunk.tail(cut_a)
+    deeper = tail.tail(cut_b)
+    assert deeper._runs_src is not None
+    assert deeper._runs_src[0] is chunk  # not the intermediate tail
+    forbid_compute(monkeypatch)
+    derived = deeper.runs_for(*GEOMETRY)
+    assert derived.n == len(chunk) - cut_a - cut_b
+    # Only the geometry actually asked for was materialised.
+    assert list(deeper._runs) == [GEOMETRY]
+
+
 def test_tail_and_head_share_list_caches():
     chunk = random_chunks(5, n_chunks=1)[0]
     kinds = chunk.kinds_list
@@ -141,12 +210,27 @@ def test_tail_and_head_share_list_caches():
     assert head.addrs.base is not None
 
 
-def test_head_does_not_inherit_runs():
-    chunk = random_chunks(9, n_chunks=1)[0]
-    chunk.runs_for(*GEOMETRY)
-    head = chunk.head(100)
-    assert head._runs is None
-    assert_runs_match(head.runs_for(*GEOMETRY), scalar_runs(head), 100)
+def test_head_inherits_truncated_runs(monkeypatch):
+    """Heads link run structures forward; a cut mid-run fixes up the
+    truncated run's length and write count against scalar derivation."""
+    chunks = [random_chunks(9, n_chunks=1)[0] for _ in (1, 2, 97, 100, 255)]
+    for chunk in chunks:
+        chunk.runs_for(*GEOMETRY)
+    forbid_compute(monkeypatch)
+    for cut, chunk in zip((1, 2, 97, 100, 255), chunks):
+        head = chunk.head(cut)
+        assert head._runs_src is not None  # linked, not dropped
+        assert_runs_match(head.runs_for(*GEOMETRY), scalar_runs(head), cut)
+
+
+def test_head_prefix_at_run_boundary_and_full_length():
+    chunk = random_chunks(21, n_chunks=1)[0]
+    runs = chunk.runs_for(*GEOMETRY)
+    boundary = runs.starts[len(runs.starts) // 2]
+    head = chunk.head(boundary)
+    assert_runs_match(head.runs_for(*GEOMETRY), scalar_runs(head), boundary)
+    whole = chunk.head(len(chunk))
+    assert whole.runs_for(*GEOMETRY) is runs  # full-length prefix is free
 
 
 def test_list_caches_match_arrays():

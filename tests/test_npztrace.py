@@ -52,6 +52,21 @@ def test_chunk_refs_cap(tmp_path):
     assert sum(len(c) for c in out) == 5_000
 
 
+def test_round_trip_at_non_default_chunk_refs(tmp_path):
+    """A program generated at a non-default (non-power-of-two, non
+    GEN_BLOCK-divisor) chunk granularity round-trips exactly, and reads
+    back at that same granularity re-chunk without loss."""
+    path = tmp_path / "trace.npz"
+    spec = table2_catalog()["sed"]
+    chunks = list(
+        SyntheticProgram(spec, total_refs=5_000, pid=1, seed=3, chunk_refs=777).chunks()
+    )
+    assert npztrace.write_npz(path, chunks) == 5_000
+    out = list(npztrace.read_npz(path, chunk_refs=777))
+    assert all(len(c) <= 777 for c in out)
+    assert flatten(out) == flatten(chunks)
+
+
 def test_empty_stream(tmp_path):
     path = tmp_path / "trace.npz"
     assert npztrace.write_npz(path, []) == 0

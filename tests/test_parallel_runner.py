@@ -10,6 +10,8 @@ broken.
 import os
 from pathlib import Path
 
+import pytest
+
 import repro.experiments.parallel as parallel_mod
 from repro.analysis.runtime import RunRecord
 from repro.core.observe import read_manifest
@@ -22,8 +24,16 @@ from repro.experiments.parallel import (
 from repro.experiments.replication import replicate
 from repro.experiments.runner import Runner
 from repro.systems.factory import baseline_machine
+from repro.trace import materialize
 
 LABELS = ("baseline", "rampage")
+
+
+@pytest.fixture(autouse=True)
+def fresh_trace_registry():
+    materialize.clear_registry()
+    yield
+    materialize.clear_registry()
 
 
 def config(cache_dir):
@@ -138,6 +148,62 @@ def test_partial_pool_failure_never_double_fires_progress(tmp_path, monkeypatch)
     assert par.prefetch(LABELS) == 4
     assert events == [(1, 4), (2, 4), (3, 4), (4, 4)]
     assert par.pending_cells(LABELS) == []
+
+
+def test_cell_specs_carry_the_shared_trace_artifact(tmp_path):
+    par = ParallelRunner(config(tmp_path), workers=1)
+    pending = par.pending_cells(LABELS)
+    paths = {spec.trace_dir for spec in pending}
+    assert len(paths) == 1
+    (artifact,) = paths
+    assert artifact is not None
+    assert Path(artifact).is_dir()
+    assert Path(artifact).parent == tmp_path / materialize.TRACE_DIRNAME
+
+
+def test_worker_attaches_artifact_without_synthesis(tmp_path, monkeypatch):
+    """The warm path: a worker handed an artifact path must never call
+    build_workload -- the whole point of the materialized plane."""
+    par = ParallelRunner(config(tmp_path), workers=1)
+    spec = par.pending_cells(("baseline",))[0]
+    assert spec.trace_dir is not None
+    materialize.clear_registry()  # simulate a fresh worker process
+
+    def no_synthesis(*args, **kwargs):
+        raise AssertionError("worker ran trace synthesis on the warm path")
+
+    monkeypatch.setattr(parallel_mod, "build_workload", no_synthesis)
+    monkeypatch.setattr(materialize, "build_workload", no_synthesis)
+    payload = _simulate_cell(spec)
+    assert payload["label"] == "baseline"
+
+
+def test_worker_falls_back_to_synthesis_on_bad_artifact(tmp_path):
+    par = ParallelRunner(config(tmp_path), workers=1)
+    spec = par.pending_cells(("baseline",))[0]
+    reference = _simulate_cell(spec)
+    broken = parallel_mod.CellSpec(
+        label=spec.label,
+        params=spec.params,
+        scale=spec.scale,
+        slice_refs=spec.slice_refs,
+        seed=spec.seed,
+        trace_dir=str(tmp_path / "traces" / "no-such-artifact"),
+    )
+    materialize.clear_registry()
+    assert _simulate_cell(broken) == reference
+
+
+def test_without_cache_dir_workers_get_no_artifact():
+    cfg = ExperimentConfig(
+        scale=0.0001,
+        slice_refs=4_000,
+        issue_rates=(10**9,),
+        sizes=(128,),
+        cache_dir=None,
+    )
+    par = ParallelRunner(cfg, workers=1)
+    assert all(spec.trace_dir is None for spec in par.pending_cells(LABELS))
 
 
 def test_worker_timed_wraps_untimed(tmp_path):
