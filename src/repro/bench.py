@@ -1,0 +1,446 @@
+"""Simulator-throughput snapshots: ``rampage-sim bench``.
+
+Two instruments, both appended as one snapshot:
+
+* **hot-loop throughput** -- references simulated per wall-clock second
+  per machine, the same drive loop as
+  ``benchmarks/bench_simulator_throughput.py``.  Each round drives a
+  fresh machine over ~120 k references; the best of ``--rounds``
+  (default 4) is recorded, which filters scheduler noise the way
+  pytest-benchmark's min-based ranking does.
+* **multi-cell sweep wall-clock** -- a serial :class:`Runner` filling a
+  cold run-record cache, measured three ways: with live per-cell trace
+  synthesis (the pre-materialization behaviour), with the materialized
+  workload plane but every cell fully simulated (``two_phase=False``),
+  and with the two-phase engine (record one miss plane per geometry
+  group, replay its siblings as timing arithmetic).  The recorded
+  ``two_phase_speedup`` is the headline number for the two-phase
+  engine.  ``--baseline-src`` additionally runs the sweep against
+  another source tree (a git worktree of an earlier commit) on *its*
+  default path, so the snapshot can record end-to-end speedup over
+  that commit.
+
+The sweep shape matches what the paper's tables actually do: hold the
+geometry fixed and sweep the CPU/DRAM speed ratio (three issue rates,
+one size, two machines -- six cells in two plane groups).
+
+Environment fields (host, python, cpu) are **derived, never
+hand-edited**: earlier snapshots drifted ("container" vs "vm" for the
+same machine) because they were typed in; this tool computes them
+itself on every append and warns when the environment changed since the
+previous snapshot, since refs/s are only comparable within one host.
+
+``--check`` runs a fast self-test on a tiny workload instead of
+benchmarking: materialized replay must be byte-identical to live
+synthesis, run records must match between the legacy and materialized
+paths, and -- for plane-eligible machines -- between the unfiltered,
+event-filtered and timing-decoupled execution paths.  CI uses it as a
+smoke gate so none of the fast paths can silently desync from the
+reference behaviour.
+
+Usage:
+    rampage-sim bench [--rounds N] [--note TEXT] [--out FILE]
+    rampage-sim bench --check
+    PYTHONPATH=src python tools/bench_snapshot.py [...]   # same tool
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from datetime import date
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.timer import ScopedTimer, refs_per_second
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import Runner
+from repro.systems.factory import baseline_machine, build_system, rampage_machine
+from repro.systems.simulator import simulate
+from repro.trace import filter as missplane
+from repro.trace import materialize
+from repro.trace.interleave import InterleavedWorkload
+from repro.trace.synthetic import build_workload
+
+REFS = 120_000
+SCALE = 0.0002
+SLICE_REFS = 10_000
+
+MACHINES = {
+    "conventional": lambda: baseline_machine(10**9, 512),
+    "rampage": lambda: rampage_machine(10**9, 1024),
+}
+
+#: Multi-cell sweep shape: two grids over three issue rates at one size
+#: -- six cells in two plane groups, the speed-ratio sweep every paper
+#: table runs.
+SWEEP_LABELS = ("baseline", "rampage")
+SWEEP_SIZES = (512,)
+SWEEP_RATES = (2 * 10**8, 10**9, 4 * 10**9)
+SWEEP_SCALE = 0.0002
+SWEEP_SLICE_REFS = 10_000
+
+
+def environment() -> dict:
+    """Derived environment fields -- never taken from hand-edited JSON."""
+    return {
+        "host": platform.node() or "unknown",
+        "os": f"{platform.system()} {platform.release()}",
+        "arch": platform.machine(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def drive(params) -> int:
+    system = build_system(params)
+    workload = InterleavedWorkload(
+        build_workload(scale=SCALE), slice_refs=SLICE_REFS
+    )
+    consumed = 0
+    while consumed < REFS:
+        chunk = workload.next_chunk()
+        if chunk is None:
+            break
+        consumed += system.run_chunk(chunk)
+    return consumed
+
+
+def measure(rounds: int) -> dict[str, int]:
+    throughput: dict[str, int] = {}
+    for name, build in MACHINES.items():
+        best = 0.0
+        for _ in range(rounds):
+            params = build()
+            with ScopedTimer() as timer:
+                consumed = drive(params)
+            best = max(best, refs_per_second(consumed, timer.elapsed))
+        throughput[name] = int(round(best))
+        print(f"{name}: {throughput[name]:,} refs/s (best of {rounds})")
+    return throughput
+
+
+def sweep_config(cache_dir: Path) -> ExperimentConfig:
+    return ExperimentConfig(
+        scale=SWEEP_SCALE,
+        slice_refs=SWEEP_SLICE_REFS,
+        issue_rates=SWEEP_RATES,
+        sizes=SWEEP_SIZES,
+        seed=0,
+        cache_dir=cache_dir,
+    )
+
+
+def run_sweep(materialized: bool, two_phase: bool = False) -> float:
+    """One cold-cache serial sweep; returns its wall-clock seconds.
+
+    A fresh temp cache directory per call keeps the run-record cache,
+    the trace plane and the miss planes cold (the in-process registries
+    key on the cache directory), so every round pays the full cost of
+    its path: synthesis per cell on the legacy path, one synthesis per
+    sweep on the materialized one, one recording per plane group plus
+    near-free replays on the two-phase one.
+    """
+    with tempfile.TemporaryDirectory(prefix="bench-sweep-") as tmp:
+        runner = Runner(
+            sweep_config(Path(tmp)),
+            materialize=materialized,
+            two_phase=two_phase,
+        )
+        with ScopedTimer() as timer:
+            for label in SWEEP_LABELS:
+                runner.grid(label)
+        return timer.elapsed
+
+
+def measure_sweep(rounds: int) -> dict:
+    cells = len(SWEEP_LABELS) * len(SWEEP_SIZES) * len(SWEEP_RATES)
+    legacy = min(run_sweep(materialized=False) for _ in range(rounds))
+    materialized = min(run_sweep(materialized=True) for _ in range(rounds))
+    two_phase = min(
+        run_sweep(materialized=True, two_phase=True) for _ in range(rounds)
+    )
+    speedup = legacy / materialized if materialized else float("inf")
+    two_phase_speedup = materialized / two_phase if two_phase else float("inf")
+    print(
+        f"sweep ({cells} cells, cold cache): legacy {legacy:.3f}s, "
+        f"materialized {materialized:.3f}s ({speedup:.2f}x), "
+        f"two-phase {two_phase:.3f}s ({two_phase_speedup:.2f}x more)"
+    )
+    return {
+        "cells": cells,
+        "labels": list(SWEEP_LABELS),
+        "sizes": list(SWEEP_SIZES),
+        "rates": list(SWEEP_RATES),
+        "scale": SWEEP_SCALE,
+        "slice_refs": SWEEP_SLICE_REFS,
+        "legacy_wall_s": round(legacy, 4),
+        "materialized_wall_s": round(materialized, 4),
+        "two_phase_wall_s": round(two_phase, 4),
+        "speedup": round(speedup, 3),
+        "two_phase_speedup": round(two_phase_speedup, 3),
+    }
+
+
+#: Subprocess harness for --baseline-src: runs the same sweep shape
+#: against a different source tree (typically a git worktree of an
+#: earlier commit) on that tree's *default* serial-runner path, so the
+#: recorded speedup is end-to-end against what that commit actually
+#: shipped rather than against a handicapped configuration.
+_BASELINE_HARNESS = """
+import json, sys, tempfile, time
+from pathlib import Path
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import Runner
+
+labels, sizes, rates, scale, slice_refs, rounds = json.loads(sys.argv[1])
+best_wall = best_cpu = float("inf")
+for _ in range(rounds):
+    with tempfile.TemporaryDirectory(prefix="bench-sweep-") as tmp:
+        config = ExperimentConfig(
+            scale=scale, slice_refs=slice_refs, issue_rates=tuple(rates),
+            sizes=tuple(sizes), seed=0, cache_dir=Path(tmp),
+        )
+        runner = Runner(config)
+        wall0, cpu0 = time.perf_counter(), time.process_time()
+        for label in labels:
+            runner.grid(label)
+        best_wall = min(best_wall, time.perf_counter() - wall0)
+        best_cpu = min(best_cpu, time.process_time() - cpu0)
+print(json.dumps({"wall_s": best_wall, "cpu_s": best_cpu}))
+"""
+
+
+def measure_baseline_src(src: str, rounds: int) -> dict:
+    """Best-of-``rounds`` sweep wall/cpu seconds for another source tree."""
+    shape = json.dumps(
+        [
+            list(SWEEP_LABELS),
+            list(SWEEP_SIZES),
+            list(SWEEP_RATES),
+            SWEEP_SCALE,
+            SWEEP_SLICE_REFS,
+            rounds,
+        ]
+    )
+    env = dict(os.environ, PYTHONPATH=src)
+    out = subprocess.run(
+        [sys.executable, "-c", _BASELINE_HARNESS, shape],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def _check_two_phase(scale: float, seed: int) -> int:
+    """Unfiltered vs event-filtered vs timing-decoupled, byte-for-byte.
+
+    Records one miss plane per eligible machine, then asserts that both
+    phase-2 paths reproduce the plain simulation's record exactly --
+    across issue rates, so the decoupled arithmetic is exercised away
+    from the recording cell's clock.
+    """
+    slice_refs = 4_000
+    programs = materialize.get_workload(scale, seed).programs
+    machines = {
+        "baseline": lambda rate: baseline_machine(rate, 512),
+        "rampage": lambda rate: rampage_machine(rate, 1024),
+    }
+    for label, build in machines.items():
+        recorder = missplane.PlaneRecorder(
+            missplane.plane_key(build(10**9), scale, seed, slice_refs)
+        )
+        recorded = simulate(
+            build(10**9), programs, slice_refs=slice_refs, record_plane=recorder
+        )
+        plane = recorder.finalize()
+        for rate in (2 * 10**8, 10**9, 4 * 10**9):
+            params = build(rate)
+            plain = (
+                recorded
+                if rate == 10**9
+                else simulate(params, programs, slice_refs=slice_refs)
+            )
+            reference = plain.stats.as_dict()
+            filtered = simulate(
+                params, programs, slice_refs=slice_refs, replay_plane=plane
+            )
+            if filtered.stats.as_dict() != reference:
+                print(
+                    f"CHECK FAILED: {label} @{rate} Hz event-filtered replay "
+                    "diverges from the unfiltered run"
+                )
+                return 1
+            decoupled = missplane.replay_decoupled(params, plane)
+            if decoupled.stats.as_dict() != reference:
+                print(
+                    f"CHECK FAILED: {label} @{rate} Hz timing-decoupled "
+                    "replay diverges from the unfiltered run"
+                )
+                return 1
+    return 0
+
+
+def check() -> int:
+    """Fast self-test: every fast path == the reference, tiny scale.
+
+    Exit code 1 on any divergence.  Cheap enough for CI (a few seconds):
+    the goal is catching a desync between the materialized, vectorized,
+    event-filtered and timing-decoupled paths and the reference
+    behaviour, not measuring speed.
+    """
+    scale, seed = 0.00005, 0
+    materialize.clear_registry()
+    missplane.clear_registry()
+    live = build_workload(scale, seed=seed)
+    plane = materialize.get_workload(scale, seed, cache_dir=None)
+    for a, b in zip(live, plane.programs):
+        for field in ("kinds", "addrs"):
+            flat_live = np.concatenate([getattr(c, field) for c in a.chunks()])
+            flat_plane = np.concatenate([getattr(c, field) for c in b.chunks()])
+            if not np.array_equal(flat_live, flat_plane):
+                print(
+                    f"CHECK FAILED: {a.spec.name} {field} diverge between "
+                    "live synthesis and materialized replay"
+                )
+                return 1
+    config = ExperimentConfig(
+        scale=scale,
+        slice_refs=4_000,
+        issue_rates=(10**9,),
+        sizes=(128,),
+        seed=seed,
+        cache_dir=None,
+    )
+    machines = {
+        "baseline": baseline_machine(10**9, 512),
+        "rampage_som": rampage_machine(10**9, 1024, switch_on_miss=True),
+    }
+    for label, params in machines.items():
+        legacy = Runner(config, materialize=False).record(label, params)
+        replay = Runner(config).record(label, params)
+        if legacy.as_dict() != replay.as_dict():
+            print(f"CHECK FAILED: {label} records diverge between paths")
+            return 1
+    if _check_two_phase(scale, seed):
+        return 1
+    print(
+        f"check OK: {plane.total_refs} refs replay byte-identical; "
+        f"records match on {', '.join(machines)}; filtered and decoupled "
+        "replays match the unfiltered runs"
+    )
+    return 0
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Benchmark flags, shared by the CLI subcommand and the tool."""
+    parser.add_argument("--rounds", type=int, default=4)
+    parser.add_argument(
+        "--sweep-rounds",
+        type=int,
+        default=3,
+        help="rounds for the multi-cell sweep benchmark",
+    )
+    parser.add_argument(
+        "--note", default="", help="what changed since the last snapshot"
+    )
+    parser.add_argument(
+        "--baseline-src",
+        default="",
+        help=(
+            "src directory of another checkout (e.g. a git worktree of an "
+            "earlier commit); the sweep is also run there and the snapshot "
+            "records speedup against it"
+        ),
+    )
+    parser.add_argument(
+        "--baseline-label",
+        default="",
+        help="how to label the --baseline-src tree (e.g. a commit id)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fast equivalence self-test (no benchmark, no file write)",
+    )
+    parser.add_argument(
+        "--out",
+        default="",
+        help="snapshot file to append to (default: ./BENCH_throughput.json)",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute the benchmark (or ``--check``) described by ``args``."""
+    if args.check:
+        return check()
+
+    path = Path(args.out) if args.out else Path.cwd() / "BENCH_throughput.json"
+    if path.exists():
+        data = json.loads(path.read_text("utf-8"))
+    else:
+        data = {
+            "unit": "refs_per_second",
+            "workload": {"refs": REFS, "scale": SCALE, "slice_refs": SLICE_REFS},
+            "snapshots": [],
+        }
+
+    env = environment()
+    snapshots = data.get("snapshots", [])
+    if snapshots:
+        last = snapshots[-1]
+        drift = [
+            key
+            for key in ("host", "python", "cpu_count")
+            if key in last and last[key] != env[key]
+        ]
+        if drift:
+            print(
+                "note: environment changed since last snapshot "
+                f"({', '.join(drift)}); refs/s are only comparable within one host"
+            )
+
+    snapshot = {
+        "date": date.today().isoformat(),
+        **env,
+        "note": args.note,
+        "throughput": measure(args.rounds),
+        "sweep": measure_sweep(args.sweep_rounds),
+    }
+    if args.baseline_src:
+        baseline = measure_baseline_src(args.baseline_src, args.sweep_rounds)
+        two_phase = snapshot["sweep"]["two_phase_wall_s"]
+        baseline["label"] = args.baseline_label or args.baseline_src
+        baseline["wall_s"] = round(baseline["wall_s"], 4)
+        baseline["cpu_s"] = round(baseline["cpu_s"], 4)
+        baseline["speedup_vs_two_phase"] = round(
+            baseline["wall_s"] / two_phase, 3
+        )
+        snapshot["sweep"]["baseline"] = baseline
+        print(
+            f"baseline [{baseline['label']}]: {baseline['wall_s']:.3f}s, "
+            f"two-phase speedup {baseline['speedup_vs_two_phase']:.2f}x"
+        )
+    snapshots.append(snapshot)
+    data["snapshots"] = snapshots
+    path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    add_arguments(parser)
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

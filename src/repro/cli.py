@@ -7,6 +7,7 @@ Subcommands::
     rampage-sim run all --out results/    # everything, saved to files
     rampage-sim sweep --kind rampage ...  # one ad-hoc simulation cell
     rampage-sim cache stats|verify|purge  # inspect/repair the run cache
+    rampage-sim bench [--check]           # throughput snapshot / self-test
 
 Workload scaling comes from the ``REPRO_*`` environment variables (see
 :mod:`repro.experiments.config`) or the ``--scale`` / ``--slice-refs``
@@ -19,11 +20,13 @@ is the *same* record -- cache hits included.
 from __future__ import annotations
 
 import argparse
+import shutil
 import sys
 from dataclasses import replace
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro import bench
 from repro.core.errors import CacheIntegrityError
 from repro.core.observe import read_manifest
 from repro.core.timer import ScopedTimer, refs_per_second
@@ -51,6 +54,8 @@ from repro.systems.factory import (
     rampage_machine,
     twoway_machine,
 )
+from repro.trace import filter as missplane
+from repro.trace import materialize
 
 EXPERIMENTS: dict[str, Callable[[Runner], ExperimentOutput]] = {
     "table1": table1.run,
@@ -151,8 +156,14 @@ def _build_parser() -> argparse.ArgumentParser:
     cache_sub.choices["purge"].add_argument(
         "--corrupt-only",
         action="store_true",
-        help="delete only quarantined *.json.corrupt files",
+        help="delete only quarantined records and artifacts",
     )
+
+    bench_cmd = sub.add_parser(
+        "bench",
+        help="record a simulator-throughput snapshot (or --check self-test)",
+    )
+    bench.add_arguments(bench_cmd)
     return parser
 
 
@@ -295,6 +306,30 @@ def _cache_stats(cache_dir: Path, args: argparse.Namespace) -> int:
     return 0
 
 
+#: Artifact layouts living under the cache directory, beyond the flat
+#: ``<key>.json`` records: (kind, subdirectory resolver, validator).
+_ARTIFACT_LAYOUTS: tuple[tuple[str, Callable, Callable], ...] = (
+    ("trace", materialize.trace_root, materialize.load_artifact),
+    ("plane", missplane.plane_root, missplane.load_plane),
+)
+
+
+def _artifact_dirs(root: Path) -> tuple[list[Path], list[Path]]:
+    """Committed and quarantined artifact directories under ``root``."""
+    if not root.is_dir():
+        return [], []
+    live: list[Path] = []
+    quarantined: list[Path] = []
+    for path in sorted(root.iterdir()):
+        if not path.is_dir() or path.name.startswith("."):
+            continue
+        if missplane.QUARANTINE_SUFFIX in path.name:
+            quarantined.append(path)
+        else:
+            live.append(path)
+    return live, quarantined
+
+
 def _cache_verify(cache_dir: Path, args: argparse.Namespace) -> int:
     bad = 0
     checked = 0
@@ -308,11 +343,29 @@ def _cache_verify(cache_dir: Path, args: argparse.Namespace) -> int:
     quarantined = list(iter_quarantined_files(cache_dir))
     for path in quarantined:
         print(f"QUARANTINED {path.name}")
+    artifacts_checked = artifacts_bad = artifacts_quarantined = 0
+    for kind, root, validate in _ARTIFACT_LAYOUTS:
+        live, held = _artifact_dirs(root(cache_dir))
+        artifacts_quarantined += len(held)
+        for path in live:
+            artifacts_checked += 1
+            try:
+                validate(path)
+            except (OSError, CacheIntegrityError) as error:
+                artifacts_bad += 1
+                print(f"CORRUPT {kind} {path.name}: {error}")
+        for path in held:
+            print(f"QUARANTINED {kind} {path.name}")
     print(
         f"verified {checked} records: {checked - bad} ok, {bad} corrupt, "
         f"{len(quarantined)} quarantined"
     )
-    if bad or quarantined:
+    print(
+        f"verified {artifacts_checked} artifacts: "
+        f"{artifacts_checked - artifacts_bad} ok, {artifacts_bad} corrupt, "
+        f"{artifacts_quarantined} quarantined"
+    )
+    if bad or quarantined or artifacts_bad or artifacts_quarantined:
         print("run 'rampage-sim cache purge --corrupt-only' to discard them")
         return 1
     return 0
@@ -329,8 +382,21 @@ def _cache_purge(cache_dir: Path, args: argparse.Namespace) -> int:
             removed += 1
         except OSError:
             pass
+    dirs_removed = 0
+    for _, root, _ in _ARTIFACT_LAYOUTS:
+        live, held = _artifact_dirs(root(cache_dir))
+        doomed = held if args.corrupt_only else held + live
+        for path in doomed:
+            try:
+                shutil.rmtree(path)
+                dirs_removed += 1
+            except OSError:
+                pass
     scope = "quarantined files" if args.corrupt_only else "cache entries"
-    print(f"purged {removed} {scope} from {cache_dir}")
+    print(
+        f"purged {removed} {scope} and {dirs_removed} artifact "
+        f"directories from {cache_dir}"
+    )
     return 0
 
 
@@ -356,6 +422,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "bench":
+        return bench.run(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -14,6 +14,13 @@ re-derives the workload from ``(scale, seed)`` and the machine from its
 subprocess is bit-identical to one computed in-process (a test asserts
 byte equality of the cached JSON).
 
+The sweep is two-phase aware (:mod:`repro.trace.filter`): pending cells
+that share a structural geometry are grouped by miss-plane key, one
+representative per group is dispatched to the pool with recording on
+(the worker commits the plane artifact alongside its record), and the
+remaining cells of the group never reach the pool at all -- the parent
+replays them as pure timing arithmetic after the pool drains.
+
 Degradation is graceful by design: ``workers=1`` never builds a pool,
 and any pool-level failure (fork limits, pickling regressions, a
 sandbox without process spawning) falls back to the in-process serial
@@ -24,7 +31,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
 from repro.analysis.runtime import RunGrid, RunRecord
@@ -34,6 +41,13 @@ from repro.core.timer import ScopedTimer, refs_per_second
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import Runner
 from repro.systems.simulator import simulate
+from repro.trace.filter import (
+    PlaneRecorder,
+    commit_plane,
+    get_plane,
+    plane_eligible,
+    plane_key,
+)
 from repro.trace.materialize import attach_workload, get_workload
 from repro.trace.synthetic import build_workload
 
@@ -64,6 +78,10 @@ class CellSpec:
     slice_refs: int
     seed: int
     trace_dir: str | None = None
+    #: Miss-plane key to record while simulating (group representative).
+    plane_key: str | None = None
+    #: Cache directory receiving the recorded plane artifact.
+    cache_dir: str | None = None
 
 
 def _cell_workload(spec: CellSpec) -> list:
@@ -89,9 +107,22 @@ def _simulate_cell(spec: CellSpec) -> dict:
     Returns ``RunRecord.as_dict()`` rather than the record itself so the
     parent commits it through the same ``from_dict``/``as_dict``
     round-trip the disk cache uses -- byte-identical JSON either way.
+    A spec carrying a ``plane_key`` is its plane group's representative:
+    the run records the group's miss plane and commits the artifact so
+    the parent (and sibling cells) can replay instead of simulate.
     """
     programs = _cell_workload(spec)
-    result = simulate(spec.params, programs, slice_refs=spec.slice_refs)
+    recorder = None
+    if spec.plane_key is not None:
+        recorder = PlaneRecorder(spec.plane_key)
+    result = simulate(
+        spec.params,
+        programs,
+        slice_refs=spec.slice_refs,
+        record_plane=recorder,
+    )
+    if recorder is not None:
+        commit_plane(recorder.finalize(), cache_dir=spec.cache_dir)
     record = RunRecord.from_result(
         spec.label, spec.params.transfer_unit_bytes, result
     )
@@ -120,6 +151,8 @@ class ParallelRunner(Runner):
     workers:
         Pool width; ``None`` means one per core.  ``workers=1`` (or a
         single pending cell) runs in-process with no pool at all.
+        Anything below 1 is a configuration error and raises
+        :class:`ValueError` immediately, before any work is dispatched.
     progress:
         Optional callback invoked after each completed cell with
         ``(done, total, record)``; completion order, not grid order.
@@ -131,9 +164,16 @@ class ParallelRunner(Runner):
         workers: int | None = None,
         progress: ProgressFn | None = None,
         materialize: bool = True,
+        two_phase: bool = True,
     ) -> None:
-        super().__init__(config, materialize=materialize)
-        self.workers = default_workers() if workers is None else max(1, int(workers))
+        super().__init__(config, materialize=materialize, two_phase=two_phase)
+        if workers is None:
+            self.workers = default_workers()
+        else:
+            workers = int(workers)
+            if workers < 1:
+                raise ValueError(f"workers must be >= 1, got {workers}")
+            self.workers = workers
         self.progress = progress
 
     # ------------------------------------------------------------------
@@ -194,43 +234,88 @@ class ParallelRunner(Runner):
     # Prefetch
     # ------------------------------------------------------------------
 
+    def _plan_two_phase(
+        self, pending: list[CellSpec]
+    ) -> tuple[list[CellSpec], list[CellSpec]]:
+        """Split pending cells into pool work and parent-side replays.
+
+        Cells sharing a miss-plane key need only one full simulation:
+        the group's first cell ships to the pool as its *representative*
+        (recording the plane), and the rest are deferred -- the parent
+        replays them via :meth:`Runner.record`'s two-phase path once the
+        plane artifact exists.  Groups whose plane is already on disk
+        defer every cell.  Requires a cache directory (the plane must
+        cross the process boundary as an artifact); otherwise, and for
+        ineligible machines, cells ship to the pool unchanged.
+        """
+        cache_dir = self.config.cache_dir
+        if not self.two_phase or not self.materialize or cache_dir is None:
+            return pending, []
+        pool_specs: list[CellSpec] = []
+        deferred: list[CellSpec] = []
+        represented: set[str] = set()
+        config = self.config
+        for spec in pending:
+            if not plane_eligible(spec.params):
+                pool_specs.append(spec)
+                continue
+            pkey = plane_key(spec.params, config.scale, config.seed, config.slice_refs)
+            if pkey in represented:
+                deferred.append(spec)
+            elif get_plane(pkey, cache_dir=cache_dir, events=self.events) is not None:
+                represented.add(pkey)
+                deferred.append(spec)
+            else:
+                represented.add(pkey)
+                pool_specs.append(
+                    replace(spec, plane_key=pkey, cache_dir=str(cache_dir))
+                )
+        return pool_specs, deferred
+
     def prefetch(self, labels: Sequence[str]) -> int:
         """Fill the cache for ``labels``; returns how many cells ran.
 
-        Uses the pool only when it can pay off (more than one pending
+        Uses the pool only when it can pay off (more than one pool-bound
         cell and ``workers > 1``); any pool failure degrades to the
         serial in-process path.  Cells the pool already committed (and
         already reported through the progress callback) are skipped in
         the fallback, so neither the work nor the callback repeats and
         ``done`` counts stay monotonic over one shared ``total``.
+        Two-phase planning keeps plane-sharing cells out of the pool
+        entirely; the serial tail replays them from the representatives'
+        recorded planes.
         """
         pending = self.pending_cells(labels)
         if not pending:
             return 0
         total = len(pending)
         done = 0
+        pool_specs, deferred = self._plan_two_phase(pending)
         self.events.emit(
             "sweep_started",
             labels=list(labels),
             pending=total,
+            pool_cells=len(pool_specs),
+            deferred_replays=len(deferred),
             workers=self.workers,
         )
         with ScopedTimer() as timer:
-            if self.workers > 1 and total > 1:
+            serial = pending
+            if self.workers > 1 and len(pool_specs) > 1:
                 try:
-                    self._prefetch_pool(pending)
-                    pending = []
-                    done = total
+                    self._prefetch_pool(pool_specs, total)
+                    serial = deferred
+                    done = total - len(deferred)
                 except Exception:
                     # Degrade: drop the cells the pool finished before
                     # dying; their progress callbacks already fired.
-                    pending = [
+                    serial = [
                         spec
                         for spec in pending
                         if self._lookup(self._cache_key(spec.params)) is None
                     ]
-                    done = total - len(pending)
-            for spec in pending:
+                    done = total - len(serial)
+            for spec in serial:
                 record = self.record(spec.label, spec.params)
                 done += 1
                 if self.progress is not None:
@@ -244,10 +329,9 @@ class ParallelRunner(Runner):
         self.write_cache_manifest()
         return total
 
-    def _prefetch_pool(self, pending: list[CellSpec]) -> None:
-        total = len(pending)
+    def _prefetch_pool(self, pending: list[CellSpec], total: int) -> None:
         done = 0
-        with ProcessPoolExecutor(max_workers=min(self.workers, total)) as pool:
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(pending))) as pool:
             futures = {
                 pool.submit(_simulate_cell_timed, spec): spec for spec in pending
             }
@@ -263,6 +347,7 @@ class ParallelRunner(Runner):
                     "cell_completed",
                     key=self._cache_key(spec.params),
                     label=record.label,
+                    mode="recorded" if spec.plane_key is not None else "full",
                     wall_s=round(wall_s, 6),
                     refs_per_s=round(
                         refs_per_second(record.workload_refs, wall_s), 1

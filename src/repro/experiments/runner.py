@@ -61,6 +61,16 @@ from repro.systems.factory import (
     twoway_machine,
 )
 from repro.systems.simulator import simulate
+from repro.trace.filter import (
+    PlaneRecorder,
+    PlaneReplayError,
+    commit_plane,
+    discard_plane,
+    get_plane,
+    plane_eligible,
+    plane_key,
+    replay_decoupled,
+)
 from repro.trace.materialize import WORKLOAD_VERSION, get_workload
 from repro.trace.synthetic import build_workload
 
@@ -183,11 +193,13 @@ class Runner:
         config: ExperimentConfig | None = None,
         events: EventLog | None = None,
         materialize: bool = True,
+        two_phase: bool = True,
     ) -> None:
         self.config = config if config is not None else ExperimentConfig.from_env()
         self.events = events if events is not None else EventLog(self.config.event_log)
         self.cache_stats = CacheStats()
         self.materialize = materialize
+        self.two_phase = two_phase
         self._memory: dict[str, RunRecord] = {}
         self._grids: dict[str, RunGrid] = {}
         self._programs: list | None = None
@@ -314,19 +326,60 @@ class Runner:
             issue_rate_hz=params.issue_rate_hz,
             size_bytes=params.transfer_unit_bytes,
         )
+        mode = "full"
         with ScopedTimer() as timer:
-            programs = self._workload()
-            result = simulate(params, programs, slice_refs=self.config.slice_refs)
+            result = None
+            if self.two_phase and self.materialize and plane_eligible(params):
+                result, mode = self._run_two_phase(params)
+            if result is None:
+                programs = self._workload()
+                result = simulate(params, programs, slice_refs=self.config.slice_refs)
         record = RunRecord.from_result(label, params.transfer_unit_bytes, result)
         self._store(key, record)
         self.events.emit(
             "cell_completed",
             key=key,
             label=label,
+            mode=mode,
             wall_s=round(timer.elapsed, 6),
             refs_per_s=round(refs_per_second(record.workload_refs, timer.elapsed), 1),
         )
         return record
+
+    def _run_two_phase(self, params: MachineParams):
+        """Run one plane-eligible cell through the two-phase engine.
+
+        Returns ``(result, mode)``: a timing-decoupled replay when the
+        cell's geometry already has a miss plane (``"replayed"``), else
+        a full simulation that records one for its siblings
+        (``"recorded"``).  A plane that trips a replay invariant is
+        quarantined and the cell re-records -- never a crash.
+        """
+        config = self.config
+        pkey = plane_key(params, config.scale, config.seed, config.slice_refs)
+        plane = get_plane(pkey, cache_dir=config.cache_dir, events=self.events)
+        if plane is not None:
+            try:
+                return replay_decoupled(params, plane), "replayed"
+            except PlaneReplayError as error:
+                discard_plane(
+                    plane,
+                    cache_dir=config.cache_dir,
+                    events=self.events,
+                    reason=str(error),
+                )
+        recorder = PlaneRecorder(pkey)
+        programs = self._workload()
+        result = simulate(
+            params,
+            programs,
+            slice_refs=config.slice_refs,
+            record_plane=recorder,
+        )
+        commit_plane(
+            recorder.finalize(), cache_dir=config.cache_dir, events=self.events
+        )
+        return result, "recorded"
 
     # ------------------------------------------------------------------
     # Manifest

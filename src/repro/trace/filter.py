@@ -1,0 +1,899 @@
+"""L1/TLB-filtered miss planes: phase 1 of the two-phase sweep.
+
+The paper's sweeps hold the split 16 KB L1s and the TLB fixed while
+varying CPU/DRAM speed ratios, so every cell of an issue-rate sweep
+re-simulates the identical L1 front-end over the full interleaved
+reference stream.  This module implements Puzak-style trace stripping
+for that case: run the front-end once per *structural* machine geometry,
+persist the resulting **miss plane** -- the sparse sequence of reference
+runs that reach the TLB-miss or L1-miss paths, plus aggregate hit
+counters for everything in between -- and let every other cell sharing
+that geometry replay only the plane's events
+(:meth:`~repro.systems.base.MemorySystem._run_chunk_filtered`).
+
+Soundness: why a recorded plane replays byte-identically
+--------------------------------------------------------
+
+A naive L1-only filter is *unsound* here because the back-end feeds
+state into the front-end: L2 evictions and RAMpage page faults
+invalidate L1 blocks through inclusion (``_flush_l1_range``), so which
+references miss in L1 depends on the whole machine, not the L1 alone.
+The plane therefore is not a pure front-end filter -- it is a recording
+of a **full live simulation** keyed by every parameter that can affect
+the event sequence.  Two cells share a plane only when they differ in
+*timing-only* parameters (:func:`structural_params` normalises exactly
+``issue_rate_hz`` and the Rambus ``dram`` timing): time is read by the
+simulation solely to charge stalls (``RambusChannel.synchronous`` and
+friends mutate nothing but the clock and level-time counters), so for
+non-preempting machines the sequence of TLB misses, L1 misses, handler
+references, page faults, frame allocations and RNG draws is invariant
+across the cells of a plane group.  Replay then reproduces the exact
+state trajectory:
+
+* **TLB** -- inserts, flushes and replacement-RNG draws happen only
+  inside ``_translate``/``_page_fault``, which replay runs live at each
+  recorded translate event; probes have no side effects.
+* **L1** -- every fill, eviction and inclusion flush happens at a
+  recorded event (or inside live handler/context-switch execution
+  between events), so the tag arrays evolve identically; dirty bits set
+  by *skipped* write-hit runs are recorded as explicit 0->1 transitions
+  per gap and applied before the next event, since evictions and
+  flushes read them.
+* **Frames** are stored per event because the hot loop's (vpn, frame)
+  micro-cache can bridge a TLB eviction -- a live re-probe at replay
+  time could spuriously miss.  Frame values are structural (first-touch
+  allocation order / the SRAM clock algorithm), so they replay exactly.
+* **Cycles** -- ``SimClock.tick_cycles`` is linear, so bulk-crediting a
+  gap's batched instruction-hit cycles is the same arithmetic as the
+  unfiltered loop's batching, and the batch is flushed before every
+  event, the only point where anything reads the clock.
+
+Machines whose front-end couples to back-end *timing* are ineligible
+(:func:`plane_eligible`): switch-on-miss RAMpage preempts mid-chunk on
+faults (the event sequence depends on transfer timing), and virtual-L1
+variants retag handler references (``_generic_l1_access`` is False).
+
+Timing-decoupled replay (phase 2's fast path)
+---------------------------------------------
+
+For eligible machines the clock never lags the Rambus channel: every
+DRAM transfer is synchronous, and ``_dram_sync`` advances the clock
+past the transfer immediately, so the channel's ``free_at`` always
+equals ``now`` at the next request and the queueing wait is zero at
+*any* issue rate.  The recorded run's DRAM time is therefore a pure
+function of the per-access byte counts -- the **timing tape** -- and
+every other level-time counter is an exact multiple of the cycle time
+(``SimClock.tick_cycles`` is linear and ``cycle_time_ps`` guarantees an
+integral cycle).  :func:`replay_decoupled` reproduces a sibling cell's
+byte-identical run record by arithmetic alone: rescale the recorded
+per-level cycle counts to the cell's clock and re-price the tape under
+the cell's Rambus timing, without touching the workload.  The
+event-level replay path (``_run_chunk_filtered``) remains the
+state-exact validation harness for that arithmetic.
+
+Artifact layout (one directory per key under ``<cache_dir>/planes/``)::
+
+    planes/<key>/
+    ├── chunks.npy      # int64 (C, 3): pid, n_refs, n_events per chunk
+    ├── events.npy      # int64 (E, 6): gvpn, frame, length, offset, bip, writes
+    ├── flags.npy       # uint8 (E,): translate/ifetch/l1-miss/first-write bits
+    ├── gaps.npy        # int64 (E+C, 4): ifetches, reads, writes, dirty count
+    ├── dirty.npy       # int64 (D,): 0->1 dirty-bit transitions, gap-ordered
+    ├── tape.npy        # int64 (A,): bytes moved per synchronous DRAM access
+    └── manifest.json   # schema, versions, checksums, timing payload
+
+Commits, validation and quarantine follow the trace plane's envelope
+discipline exactly (:mod:`repro.trace.materialize`, ``docs/cache.md``):
+atomic temp-dir-then-rename commits with benign concurrent races (plane
+bytes are deterministic, so the loser discards its copy), strict
+checksum/schema/shape validation on attach, and
+quarantine-instead-of-crash -- a corrupt or divergent plane is a cache
+*miss* that falls back to the unfiltered path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.clock import cycle_time_ps
+from repro.core.errors import CacheIntegrityError, SimulationError
+from repro.core.params import MachineParams, RambusParams
+from repro.core.stats import SimStats
+from repro.mem.dram import rambus_transfer_ps
+from repro.trace.materialize import WORKLOAD_VERSION, _file_checksum
+
+#: Artifact manifest schema tag, bumped when the plane layout changes.
+PLANE_SCHEMA = "rampage-plane/1"
+
+#: Subdirectory of the cache directory holding miss-plane artifacts.
+PLANE_DIRNAME = "planes"
+
+#: Suffix appended to an artifact directory that failed validation.
+QUARANTINE_SUFFIX = ".corrupt"
+
+MANIFEST_NAME = "manifest.json"
+
+#: Event flag bits (``flags.npy``).
+FLAG_TRANSLATE = 1  # the run's first reference missed the TLB
+FLAG_IFETCH = 2  # instruction-side run (else data-side)
+FLAG_L1_MISS = 4  # the run's first reference missed its L1
+FLAG_FIRST_WRITE = 8  # data-side run whose first reference is a write
+
+#: Canonical issue rate substituted before hashing structural identity.
+_CANONICAL_RATE_HZ = 10**9
+
+_ARRAY_SPECS = (
+    # name, dtype, columns (0 = one-dimensional)
+    ("chunks", np.int64, 3),
+    ("events", np.int64, 6),
+    ("flags", np.uint8, 0),
+    ("gaps", np.int64, 4),
+    ("dirty", np.int64, 0),
+    ("tape", np.int64, 0),
+)
+
+#: SimStats counters that are structural (identical across a plane
+#: group) and therefore recorded verbatim; the timing-dependent fields
+#: -- ``level_times`` and the derived ``total_time_ps`` -- are
+#: recomputed per cell by :func:`replay_decoupled`.
+_STRUCTURAL_STATS = (
+    "ifetches",
+    "reads",
+    "writes",
+    "tlb_handler_refs",
+    "fault_handler_refs",
+    "switch_refs",
+    "l1i_hits",
+    "l1i_misses",
+    "l1d_hits",
+    "l1d_misses",
+    "l1_writebacks",
+    "l2_hits",
+    "l2_misses",
+    "l2_writebacks",
+    "tlb_hits",
+    "tlb_misses",
+    "page_faults",
+    "page_writebacks",
+    "context_switches",
+    "switches_on_miss",
+    "dram_accesses",
+    "dram_stall_ps",
+    "dram_overlap_ps",
+    "inclusion_invalidations",
+)
+
+
+class PlaneReplayError(CacheIntegrityError):
+    """A miss plane disagreed with the live simulation during replay.
+
+    Raised when a plane's chunk table does not line up with the driven
+    workload or a recorded L1 outcome diverges from the live tag state.
+    Callers treat it exactly like artifact corruption: quarantine the
+    plane and recompute the cell unfiltered.
+    """
+
+
+# ----------------------------------------------------------------------
+# Keying and eligibility
+# ----------------------------------------------------------------------
+
+
+def plane_eligible(params: MachineParams) -> bool:
+    """True when cells of ``params``'s geometry may share a miss plane.
+
+    Requires a non-preempting machine (switch-on-miss couples the event
+    sequence to transfer timing) with direct-mapped L1s (the only shape
+    the run-collapsed hot loop -- and therefore the recorder -- takes).
+    Virtual-L1 subclasses are excluded at attach time via
+    ``_generic_l1_access``; no :class:`MachineParams` builds one.
+    """
+    return (
+        params.kind in ("conventional", "rampage")
+        and not params.switch_on_miss
+        and params.l1.icache.ways == 1
+        and params.l1.dcache.ways == 1
+    )
+
+
+def structural_params(params: MachineParams) -> MachineParams:
+    """``params`` with its timing-only fields pinned to canonical values.
+
+    Only ``issue_rate_hz`` and the Rambus ``dram`` timing are
+    normalised: they are read exclusively by the clock and the channel's
+    stall arithmetic, never by anything that steers the event sequence
+    of a non-preempting machine.  Everything else -- geometries, seeds,
+    handler costs, scheduling policy, cycle counts -- stays in the key;
+    being conservative here costs only plane sharing, never correctness.
+    """
+    return replace(params, issue_rate_hz=_CANONICAL_RATE_HZ, dram=RambusParams())
+
+
+def plane_key(
+    params: MachineParams, scale: float, seed: int, slice_refs: int
+) -> str:
+    """Stable identity of one miss plane (24 hex digits of SHA-256).
+
+    Keyed like the run-record cache, over everything that shapes the
+    recorded event stream: workload identity (version, scale, seed),
+    the interleaver chunking (``slice_refs`` moves chunk and
+    context-switch boundaries), and the structural machine parameters.
+    """
+    blob = "|".join(
+        (
+            WORKLOAD_VERSION,
+            PLANE_SCHEMA,
+            repr(structural_params(params)),
+            f"scale={scale}",
+            f"slice={slice_refs}",
+            f"seed={seed}",
+        )
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+
+
+# ----------------------------------------------------------------------
+# In-memory plane
+# ----------------------------------------------------------------------
+
+
+class PlaneChunk:
+    """One chunk's plane data, unpacked into plain Python lists.
+
+    The replay loop indexes these per event; list indexing beats numpy
+    scalar indexing by a wide margin, and the unpack happens once per
+    chunk per process, shared by every cell replaying the plane.
+    """
+
+    __slots__ = (
+        "pid",
+        "n_refs",
+        "n_events",
+        "ev_gvpn",
+        "ev_frame",
+        "ev_length",
+        "ev_offset",
+        "ev_bip",
+        "ev_writes",
+        "ev_flags",
+        "gap_ifetch",
+        "gap_reads",
+        "gap_writes",
+        "gap_dirty",
+    )
+
+    def __init__(self, pid, n_refs, n_events, events, flags, gaps, gap_dirty):
+        self.pid = pid
+        self.n_refs = n_refs
+        self.n_events = n_events
+        self.ev_gvpn = events[:, 0].tolist()
+        self.ev_frame = events[:, 1].tolist()
+        self.ev_length = events[:, 2].tolist()
+        self.ev_offset = events[:, 3].tolist()
+        self.ev_bip = events[:, 4].tolist()
+        self.ev_writes = events[:, 5].tolist()
+        self.ev_flags = flags.tolist()
+        self.gap_ifetch = gaps[:, 0].tolist()
+        self.gap_reads = gaps[:, 1].tolist()
+        self.gap_writes = gaps[:, 2].tolist()
+        self.gap_dirty = gap_dirty
+
+
+class MissPlane:
+    """One recorded miss plane: compact arrays plus replay cursors.
+
+    ``chunks`` rows are ``(pid, n_refs, n_events)`` in workload chunk
+    order; ``events``/``flags`` rows are per-event run descriptors;
+    ``gaps`` has one row per event *plus one final row per chunk* (the
+    gap after a chunk's last event); ``dirty`` is the flat
+    concatenation of every gap's dirty-bit transition list; ``tape``
+    holds the bytes moved by each synchronous DRAM access in order.
+    ``cycle_ps`` and ``stats`` snapshot the recording run's clock and
+    final counters for :func:`replay_decoupled`.
+    """
+
+    def __init__(
+        self,
+        key: str,
+        chunks: np.ndarray,
+        events: np.ndarray,
+        flags: np.ndarray,
+        gaps: np.ndarray,
+        dirty: np.ndarray,
+        tape: np.ndarray,
+        cycle_ps: int,
+        stats: dict,
+        path: Path | None = None,
+    ) -> None:
+        self.key = key
+        self.chunks = chunks
+        self.events = events
+        self.flags = flags
+        self.gaps = gaps
+        self.dirty = dirty
+        self.tape = tape
+        self.cycle_ps = cycle_ps
+        self.stats = stats
+        self.path = path
+        self.num_chunks = len(chunks)
+        self.num_events = len(events)
+        self._ev_offsets = None
+        self._dirty_offsets = None
+        self._views: dict[int, PlaneChunk] = {}
+
+    def _offsets(self):
+        if self._ev_offsets is None:
+            counts = self.chunks[:, 2] if self.num_chunks else np.zeros(0, np.int64)
+            self._ev_offsets = np.concatenate(
+                ([0], np.cumsum(counts, dtype=np.int64))
+            )
+            self._dirty_offsets = np.concatenate(
+                ([0], np.cumsum(self.gaps[:, 3], dtype=np.int64))
+            )
+        return self._ev_offsets, self._dirty_offsets
+
+    def chunk_view(self, ordinal: int) -> PlaneChunk:
+        """The unpacked plane data for workload chunk ``ordinal``."""
+        view = self._views.get(ordinal)
+        if view is not None:
+            return view
+        if not 0 <= ordinal < self.num_chunks:
+            raise PlaneReplayError(
+                f"plane {self.key} has {self.num_chunks} chunks; the "
+                f"workload drove chunk {ordinal}"
+            )
+        ev_offsets, dirty_offsets = self._offsets()
+        ev_lo = int(ev_offsets[ordinal])
+        ev_hi = int(ev_offsets[ordinal + 1])
+        gap_lo = ev_lo + ordinal
+        gap_hi = ev_hi + ordinal + 1
+        gaps = np.asarray(self.gaps[gap_lo:gap_hi])
+        gap_dirty = []
+        pos = int(dirty_offsets[gap_lo])
+        for count in gaps[:, 3].tolist():
+            gap_dirty.append(self.dirty[pos : pos + count].tolist())
+            pos += count
+        pid, n_refs, n_events = (int(v) for v in self.chunks[ordinal])
+        view = PlaneChunk(
+            pid,
+            n_refs,
+            n_events,
+            np.asarray(self.events[ev_lo:ev_hi]),
+            np.asarray(self.flags[ev_lo:ev_hi]),
+            gaps,
+            gap_dirty,
+        )
+        self._views[ordinal] = view
+        return view
+
+
+class PlaneRecorder:
+    """Accumulates one miss plane during a live recording simulation.
+
+    The recording hot loop
+    (:meth:`~repro.systems.base.MemorySystem._run_chunk_recording`)
+    keeps its gap accumulators in locals and calls :meth:`event` only
+    when a run reaches a TLB- or L1-miss path, so recording overhead is
+    proportional to events, not references.
+    """
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self._chunks: list[tuple[int, int, int]] = []
+        self._events: list[tuple[int, int, int, int, int, int]] = []
+        self._flags: list[int] = []
+        self._gaps: list[tuple[int, int, int, int]] = []
+        self._dirty: list[int] = []
+        self._chunk_events = 0
+        #: Bytes per synchronous DRAM access, appended by ``_dram_sync``.
+        self.tape: list[int] = []
+        self._cycle_ps: int | None = None
+        self._stats: dict | None = None
+
+    def begin_chunk(self) -> None:
+        self._chunk_events = 0
+
+    def event(
+        self,
+        gvpn: int,
+        frame: int,
+        length: int,
+        offset: int,
+        bip: int,
+        writes: int,
+        flags: int,
+        gap_ifetch: int,
+        gap_reads: int,
+        gap_writes: int,
+        gap_dirty: list[int],
+    ) -> None:
+        """Close the preceding gap and record one event run."""
+        self._gaps.append((gap_ifetch, gap_reads, gap_writes, len(gap_dirty)))
+        self._dirty.extend(gap_dirty)
+        self._events.append((gvpn, frame, length, offset, bip, writes))
+        self._flags.append(flags)
+        self._chunk_events += 1
+
+    def end_chunk(
+        self,
+        pid: int,
+        n_refs: int,
+        gap_ifetch: int,
+        gap_reads: int,
+        gap_writes: int,
+        gap_dirty: list[int],
+    ) -> None:
+        """Close the chunk's final gap and commit its chunk-table row."""
+        self._gaps.append((gap_ifetch, gap_reads, gap_writes, len(gap_dirty)))
+        self._dirty.extend(gap_dirty)
+        self._chunks.append((pid, n_refs, self._chunk_events))
+        self._chunk_events = 0
+
+    def capture(self, cycle_ps: int, stats: dict) -> None:
+        """Snapshot the recording run's clock and final counters.
+
+        Called by :func:`~repro.systems.simulator.simulate` once the
+        recording run finalizes; validates the invariants the decoupled
+        replay arithmetic relies on (no channel queueing, no background
+        transfers, every level-time an exact cycle multiple).
+        """
+        level_times = stats.get("level_times", {})
+        problems = []
+        if stats.get("dram_stall_ps", 0) != 0:
+            problems.append("nonzero dram_stall_ps")
+        if stats.get("dram_overlap_ps", 0) != 0:
+            problems.append("nonzero dram_overlap_ps")
+        if level_times.get("other", 0) != 0:
+            problems.append("nonzero level_times.other")
+        if len(self.tape) != stats.get("dram_accesses"):
+            problems.append(
+                f"tape has {len(self.tape)} entries for "
+                f"{stats.get('dram_accesses')} DRAM accesses"
+            )
+        for level in ("l1i", "l1d", "l2"):
+            if level_times.get(level, 0) % cycle_ps:
+                problems.append(f"level_times.{level} not a cycle multiple")
+        if problems:
+            raise SimulationError(
+                "recording run broke a timing-decoupling invariant: "
+                + "; ".join(problems)
+            )
+        self._cycle_ps = int(cycle_ps)
+        self._stats = stats
+
+    def finalize(self) -> MissPlane:
+        if self._cycle_ps is None or self._stats is None:
+            raise SimulationError(
+                "PlaneRecorder.finalize() before capture(); the recording "
+                "run's timing snapshot is part of the plane"
+            )
+        return MissPlane(
+            key=self.key,
+            chunks=np.array(self._chunks, dtype=np.int64).reshape(-1, 3),
+            events=np.array(self._events, dtype=np.int64).reshape(-1, 6),
+            flags=np.array(self._flags, dtype=np.uint8),
+            gaps=np.array(self._gaps, dtype=np.int64).reshape(-1, 4),
+            dirty=np.array(self._dirty, dtype=np.int64),
+            tape=np.array(self.tape, dtype=np.int64),
+            cycle_ps=self._cycle_ps,
+            stats=self._stats,
+        )
+
+
+# ----------------------------------------------------------------------
+# Disk artifacts
+# ----------------------------------------------------------------------
+
+
+def plane_root(cache_dir: str | Path) -> Path:
+    """The miss-plane subdirectory of a cache directory."""
+    return Path(cache_dir) / PLANE_DIRNAME
+
+
+def artifact_dir(cache_dir: str | Path, key: str) -> Path:
+    return plane_root(cache_dir) / key
+
+
+def _timing_checksum(timing: dict) -> str:
+    """SHA-256 of the canonical JSON form of the timing payload."""
+    blob = json.dumps(timing, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def write_plane(directory: str | Path, plane: MissPlane) -> Path:
+    """Atomically commit a plane as an artifact directory.
+
+    Same discipline as the trace plane: staged in a sibling temp
+    directory, fsynced manifest, renamed into place; a lost concurrent
+    race is benign because plane bytes are structurally deterministic,
+    so the loser discards its copy and the winner's is identical.
+    """
+    directory = Path(directory)
+    directory.parent.mkdir(parents=True, exist_ok=True)
+    tmp = directory.parent / f".{directory.name}.tmp-{os.getpid()}"
+    shutil.rmtree(tmp, ignore_errors=True)
+    tmp.mkdir(parents=True)
+    try:
+        checksums = {}
+        for name, _, _ in _ARRAY_SPECS:
+            filename = f"{name}.npy"
+            np.save(tmp / filename, getattr(plane, name))
+            checksums[filename] = _file_checksum(tmp / filename)
+        timing = {"cycle_ps": int(plane.cycle_ps), "stats": plane.stats}
+        manifest = {
+            "schema": PLANE_SCHEMA,
+            "workload_version": WORKLOAD_VERSION,
+            "key": plane.key,
+            "chunks": int(plane.num_chunks),
+            "events": int(plane.num_events),
+            "flags": int(len(plane.flags)),
+            "gaps": int(len(plane.gaps)),
+            "dirty": int(len(plane.dirty)),
+            "tape": int(len(plane.tape)),
+            "timing": timing,
+            "timing_checksum": _timing_checksum(timing),
+            "checksums": checksums,
+        }
+        with open(tmp / MANIFEST_NAME, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(manifest, indent=2) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        try:
+            os.rename(tmp, directory)
+        except OSError:
+            if not (directory / MANIFEST_NAME).exists():
+                raise
+            shutil.rmtree(tmp, ignore_errors=True)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return directory
+
+
+def read_manifest(directory: str | Path) -> dict:
+    """Validate and return a plane artifact's manifest layers."""
+    path = Path(directory) / MANIFEST_NAME
+    try:
+        manifest = json.loads(path.read_text("utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CacheIntegrityError(f"unreadable plane manifest: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise CacheIntegrityError("plane manifest is not an object")
+    if manifest.get("schema") != PLANE_SCHEMA:
+        raise CacheIntegrityError(
+            f"schema mismatch: artifact has {manifest.get('schema')!r}, "
+            f"expected {PLANE_SCHEMA!r}"
+        )
+    if manifest.get("workload_version") != WORKLOAD_VERSION:
+        raise CacheIntegrityError(
+            f"workload version mismatch: artifact has "
+            f"{manifest.get('workload_version')!r}, expected {WORKLOAD_VERSION!r}"
+        )
+    if not isinstance(manifest.get("checksums"), dict):
+        raise CacheIntegrityError("plane manifest has no checksum table")
+    return manifest
+
+
+def load_plane(directory: str | Path, key: str | None = None) -> MissPlane:
+    """Attach to an on-disk plane; strict validation, mmap arrays.
+
+    Checks every envelope layer -- manifest, schema and version tags,
+    per-array SHA-256s, dtypes, shapes, and the cross-array count
+    invariants (event rows vs the chunk table, dirty rows vs the gap
+    table) -- raising :class:`CacheIntegrityError` so callers can
+    quarantine and re-record.
+    """
+    directory = Path(directory)
+    manifest = read_manifest(directory)
+    if key is not None and manifest.get("key") != key:
+        raise CacheIntegrityError(
+            f"plane key mismatch: artifact has {manifest.get('key')!r}, "
+            f"expected {key!r}"
+        )
+    checksums = manifest["checksums"]
+    arrays: dict[str, np.ndarray] = {}
+    for name, dtype, columns in _ARRAY_SPECS:
+        filename = f"{name}.npy"
+        path = directory / filename
+        if not path.exists():
+            raise CacheIntegrityError(f"missing plane array {filename}")
+        if checksums.get(filename) != _file_checksum(path):
+            raise CacheIntegrityError(f"checksum mismatch on {filename}")
+        try:
+            array = np.load(path, mmap_mode="r")
+        except (OSError, ValueError) as exc:
+            raise CacheIntegrityError(
+                f"unreadable plane array {filename}: {exc}"
+            ) from exc
+        if array.dtype != dtype:
+            raise CacheIntegrityError(
+                f"{filename}: expected {np.dtype(dtype)}, got {array.dtype}"
+            )
+        expected_ndim = 2 if columns else 1
+        if array.ndim != expected_ndim or (columns and array.shape[1] != columns):
+            raise CacheIntegrityError(
+                f"{filename}: unexpected shape {array.shape}"
+            )
+        arrays[name] = array
+    chunks, events, flags = arrays["chunks"], arrays["events"], arrays["flags"]
+    gaps, dirty = arrays["gaps"], arrays["dirty"]
+    for name, array in arrays.items():
+        if len(array) != manifest.get(name):
+            raise CacheIntegrityError(
+                f"{name}.npy has {len(array)} rows; manifest says "
+                f"{manifest.get(name)}"
+            )
+    total_events = int(chunks[:, 2].sum()) if len(chunks) else 0
+    if len(events) != total_events or len(flags) != total_events:
+        raise CacheIntegrityError(
+            f"event rows ({len(events)}) disagree with the chunk table "
+            f"({total_events})"
+        )
+    if len(gaps) != total_events + len(chunks):
+        raise CacheIntegrityError(
+            f"gap rows ({len(gaps)}) disagree with events + chunks "
+            f"({total_events + len(chunks)})"
+        )
+    if int(gaps[:, 3].sum() if len(gaps) else 0) != len(dirty):
+        raise CacheIntegrityError(
+            f"dirty rows ({len(dirty)}) disagree with the gap table"
+        )
+    timing = manifest.get("timing")
+    if not isinstance(timing, dict):
+        raise CacheIntegrityError("plane manifest has no timing payload")
+    if manifest.get("timing_checksum") != _timing_checksum(timing):
+        raise CacheIntegrityError("timing payload checksum mismatch")
+    cycle_ps = timing.get("cycle_ps")
+    stats = timing.get("stats")
+    if not isinstance(cycle_ps, int) or cycle_ps <= 0:
+        raise CacheIntegrityError(f"invalid plane cycle_ps: {cycle_ps!r}")
+    if not isinstance(stats, dict):
+        raise CacheIntegrityError("plane timing payload has no stats")
+    bad = [k for k in _STRUCTURAL_STATS if not isinstance(stats.get(k), int)]
+    if bad:
+        raise CacheIntegrityError(
+            f"plane stats missing or non-integer counters: {', '.join(bad)}"
+        )
+    if len(arrays["tape"]) != stats["dram_accesses"]:
+        raise CacheIntegrityError(
+            f"tape rows ({len(arrays['tape'])}) disagree with "
+            f"dram_accesses ({stats['dram_accesses']})"
+        )
+    return MissPlane(
+        key=str(manifest.get("key")),
+        chunks=chunks,
+        events=events,
+        flags=flags,
+        gaps=gaps,
+        dirty=dirty,
+        tape=arrays["tape"],
+        cycle_ps=cycle_ps,
+        stats=stats,
+        path=directory,
+    )
+
+
+def quarantine_dir(directory: str | Path) -> Path:
+    """Move a failed plane aside for post-mortem; returns the target."""
+    directory = Path(directory)
+    target = directory.with_name(directory.name + QUARANTINE_SUFFIX)
+    if target.exists():
+        target = directory.with_name(
+            f"{directory.name}{QUARANTINE_SUFFIX}-{os.getpid()}"
+        )
+        shutil.rmtree(target, ignore_errors=True)
+    try:
+        os.rename(directory, target)
+    except OSError:
+        return directory
+    return target
+
+
+# ----------------------------------------------------------------------
+# Process-level registry
+# ----------------------------------------------------------------------
+
+#: Planes already recorded or attached in this process.  Bounded FIFO,
+#: keyed like the artifact (plane key + cache directory), mirroring the
+#: trace plane's registry discipline.
+_REGISTRY: dict[tuple, MissPlane] = {}
+_REGISTRY_MAX = 8
+
+
+class _NullEvents:
+    def emit(self, event: str, **fields: object) -> None:
+        pass
+
+
+def _remember(registry_key: tuple, plane: MissPlane) -> MissPlane:
+    if registry_key not in _REGISTRY and len(_REGISTRY) >= _REGISTRY_MAX:
+        _REGISTRY.pop(next(iter(_REGISTRY)))
+    _REGISTRY[registry_key] = plane
+    return plane
+
+
+def clear_registry() -> None:
+    """Drop every in-process plane (tests and benchmarks)."""
+    _REGISTRY.clear()
+
+
+def _registry_key(key: str, cache_dir: str | Path | None) -> tuple:
+    return (key, str(cache_dir) if cache_dir is not None else None)
+
+
+def get_plane(
+    key: str, cache_dir: str | Path | None = None, events=None
+) -> MissPlane | None:
+    """The recorded plane for ``key``, or ``None`` (record one then).
+
+    Resolution order mirrors :func:`repro.trace.materialize.get_workload`:
+    the in-process registry, then a valid on-disk artifact (mmap
+    attach).  A corrupt artifact is quarantined -- with a
+    ``plane_quarantined`` event -- and reported as a miss, never an
+    error.
+    """
+    events = events if events is not None else _NullEvents()
+    registry_key = _registry_key(key, cache_dir)
+    plane = _REGISTRY.get(registry_key)
+    if plane is not None:
+        return plane
+    if cache_dir is None:
+        return None
+    path = artifact_dir(cache_dir, key)
+    if not path.exists():
+        return None
+    try:
+        plane = load_plane(path, key=key)
+    except CacheIntegrityError as error:
+        quarantined = quarantine_dir(path)
+        events.emit(
+            "plane_quarantined",
+            key=key,
+            path=str(quarantined),
+            reason=str(error),
+        )
+        return None
+    events.emit(
+        "plane_attached", key=key, path=str(path), events=plane.num_events
+    )
+    return _remember(registry_key, plane)
+
+
+def commit_plane(
+    plane: MissPlane, cache_dir: str | Path | None = None, events=None
+) -> MissPlane:
+    """Register a freshly recorded plane, persisting it when caching."""
+    events = events if events is not None else _NullEvents()
+    if cache_dir is not None:
+        plane.path = write_plane(artifact_dir(cache_dir, plane.key), plane)
+    events.emit(
+        "plane_recorded",
+        key=plane.key,
+        path=str(plane.path) if plane.path is not None else None,
+        chunks=plane.num_chunks,
+        events=plane.num_events,
+    )
+    return _remember(_registry_key(plane.key, cache_dir), plane)
+
+
+def discard_plane(
+    plane: MissPlane, cache_dir: str | Path | None = None, events=None, reason: str = ""
+) -> None:
+    """Quarantine a plane that diverged during replay.
+
+    Drops every registry entry holding the plane and moves its on-disk
+    artifact aside, so the next cell re-records instead of re-tripping.
+    """
+    events = events if events is not None else _NullEvents()
+    for registry_key in [k for k, v in _REGISTRY.items() if v is plane]:
+        del _REGISTRY[registry_key]
+    destination = None
+    if plane.path is not None and Path(plane.path).exists():
+        destination = str(quarantine_dir(plane.path))
+    events.emit(
+        "plane_quarantined",
+        key=plane.key,
+        path=destination,
+        reason=reason,
+    )
+
+
+def attach_plane(path: str | Path) -> MissPlane:
+    """Attach to a plane artifact by path, memoized per process.
+
+    The worker-side entry point: a sweep worker receives the plane path
+    in its cell spec and attaches once (mmap); raises
+    :class:`CacheIntegrityError` when invalid -- the caller falls back
+    to the unfiltered path.
+    """
+    registry_key = ("path", str(Path(path)))
+    plane = _REGISTRY.get(registry_key)
+    if plane is None:
+        plane = _remember(registry_key, load_plane(path))
+    return plane
+
+
+# ----------------------------------------------------------------------
+# Timing-decoupled replay (phase 2's fast path)
+# ----------------------------------------------------------------------
+
+
+def _stats_from_dict(payload: dict) -> SimStats:
+    """Rebuild a :class:`SimStats` from a plane's structural snapshot."""
+    stats = SimStats()
+    for name in _STRUCTURAL_STATS:
+        setattr(stats, name, int(payload[name]))
+    for field in ("tlb_misses_by_pid", "faults_by_pid"):
+        counts = getattr(stats, field)
+        for pid, value in payload.get(field, {}).items():
+            counts[int(pid)] = int(value)
+    return stats
+
+
+def replay_decoupled(params: MachineParams, plane: MissPlane):
+    """Reprice a plane's recorded run under ``params``'s timing.
+
+    Pure arithmetic -- no workload, no machine state: rescale the
+    recorded per-level cycle counts to ``params``'s clock and re-price
+    the DRAM tape under ``params``'s Rambus timing (see the module
+    docstring for why this is exact).  Returns the byte-identical
+    :class:`~repro.systems.base.SimulationResult` the full simulation
+    would produce, provided ``params`` shares the plane's structural
+    key.  Raises :class:`PlaneReplayError` when the snapshot breaks a
+    decoupling invariant, so the caller can quarantine and recompute.
+    """
+    from repro.systems.base import SimulationResult
+
+    if not plane_eligible(params):
+        raise PlaneReplayError(
+            f"machine kind={params.kind!r} is not plane-eligible"
+        )
+    recorded = plane.stats
+    if not isinstance(recorded, dict):
+        raise PlaneReplayError("plane has no timing snapshot")
+    level_times = recorded.get("level_times")
+    if not isinstance(level_times, dict):
+        raise PlaneReplayError("plane timing snapshot has no level_times")
+    problems = []
+    if recorded.get("dram_stall_ps", 0) != 0:
+        problems.append("nonzero dram_stall_ps")
+    if recorded.get("dram_overlap_ps", 0) != 0:
+        problems.append("nonzero dram_overlap_ps")
+    if level_times.get("other", 0) != 0:
+        problems.append("nonzero level_times.other")
+    if len(plane.tape) != recorded.get("dram_accesses"):
+        problems.append("tape length disagrees with dram_accesses")
+    rec_cycle = int(plane.cycle_ps)
+    if rec_cycle <= 0:
+        problems.append(f"invalid recording cycle_ps {plane.cycle_ps!r}")
+    else:
+        for level in ("l1i", "l1d", "l2"):
+            if int(level_times.get(level, 0)) % rec_cycle:
+                problems.append(f"level_times.{level} not a cycle multiple")
+    if problems:
+        raise PlaneReplayError(
+            "plane timing snapshot broke a decoupling invariant: "
+            + "; ".join(problems)
+        )
+    cell_cycle = cycle_time_ps(params.issue_rate_hz)
+    stats = _stats_from_dict(recorded)
+    # The tape holds a handful of distinct sizes (L2 block, page, table
+    # entry); price each once through the canonical transfer model.
+    dram_ps = 0
+    if len(plane.tape):
+        values, counts = np.unique(np.asarray(plane.tape), return_counts=True)
+        for nbytes, count in zip(values.tolist(), counts.tolist()):
+            dram_ps += int(count) * rambus_transfer_ps(params.dram, int(nbytes))
+    lt = stats.level_times
+    lt.l1i = (int(level_times["l1i"]) // rec_cycle) * cell_cycle
+    lt.l1d = (int(level_times["l1d"]) // rec_cycle) * cell_cycle
+    lt.l2 = (int(level_times["l2"]) // rec_cycle) * cell_cycle
+    lt.dram = dram_ps
+    lt.other = 0
+    return SimulationResult(params=params, stats=stats)

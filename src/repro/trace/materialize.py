@@ -495,7 +495,7 @@ class _NullEvents:
 
 
 def _remember(key: tuple, plane: MaterializedWorkload) -> MaterializedWorkload:
-    if len(_REGISTRY) >= _REGISTRY_MAX:
+    if key not in _REGISTRY and len(_REGISTRY) >= _REGISTRY_MAX:
         _REGISTRY.pop(next(iter(_REGISTRY)))
     _REGISTRY[key] = plane
     return plane

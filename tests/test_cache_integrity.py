@@ -25,6 +25,7 @@ from repro.experiments.runner import (
     record_checksum,
 )
 from repro.systems.factory import baseline_machine
+from repro.trace.filter import PLANE_DIRNAME
 from repro.trace.materialize import TRACE_DIRNAME
 
 PARAMS = baseline_machine(10**9, 1024)
@@ -164,9 +165,10 @@ def test_legacy_bare_record_is_quarantined(tmp_path):
 def test_store_leaves_no_temp_files(tmp_path):
     cache_dir, path, _ = seeded_cache(tmp_path)
     names = {item.name for item in cache_dir.iterdir()}
-    # The materialized trace plane lives alongside the records by design;
-    # anything else (e.g. an orphaned temp file) is a leak.
-    assert names == {path.name, TRACE_DIRNAME}
+    # The materialized trace plane and the miss planes live alongside
+    # the records by design; anything else (e.g. an orphaned temp file)
+    # is a leak.
+    assert names == {path.name, TRACE_DIRNAME, PLANE_DIRNAME}
 
 
 def test_commit_is_replace_not_append(tmp_path, monkeypatch):

@@ -5,6 +5,8 @@ from repro.cli import EXPERIMENTS, main
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import Runner
 from repro.systems.factory import rampage_machine
+from repro.trace import filter as missplane
+from repro.trace.filter import MANIFEST_NAME, PLANE_DIRNAME
 
 
 def test_list_prints_experiments(capsys):
@@ -208,6 +210,76 @@ def test_cache_purge_all(tmp_path, capsys, monkeypatch):
     assert main(["cache", "purge", "--dir", str(tmp_path)]) == 0
     assert "purged 1 cache entries" in capsys.readouterr().out
     assert list(tmp_path.glob("*.json")) == []
+
+
+SWEEP = [
+    "sweep", "--kind", "baseline", "--scale", "0.0001", "--slice-refs", "2000",
+]
+
+
+def plane_dirs(cache_dir):
+    root = cache_dir / PLANE_DIRNAME
+    if not root.is_dir():
+        return []
+    return sorted(p for p in root.iterdir() if p.is_dir())
+
+
+def test_cache_verify_covers_trace_and_plane_artifacts(tmp_path, capsys, monkeypatch):
+    """A two-phase sweep leaves a trace artifact and a miss plane behind;
+    ``cache verify`` validates both layouts alongside the records."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(SWEEP) == 0
+    capsys.readouterr()
+    assert main(["cache", "verify", "--dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "verified 1 records: 1 ok" in out
+    assert "verified 2 artifacts: 2 ok, 0 corrupt, 0 quarantined" in out
+
+    # In-place damage to a plane array is reported, not ignored.
+    (plane_dirs(tmp_path)[0] / "tape.npy").write_bytes(b"torn")
+    assert main(["cache", "verify", "--dir", str(tmp_path)]) == 1
+    assert "CORRUPT plane" in capsys.readouterr().out
+
+
+def test_corrupt_plane_is_quarantined_and_sweep_recovers(tmp_path, capsys, monkeypatch):
+    """End to end: a torn plane manifest is a miss -- the next cell of
+    the same geometry (different rate, same plane key) quarantines it,
+    re-records, and ``cache purge --corrupt-only`` cleans up."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(SWEEP + ["--issue-rate", "1000000000"]) == 0
+    capsys.readouterr()
+    (artifact,) = plane_dirs(tmp_path)
+    (artifact / MANIFEST_NAME).write_text("{ torn", "utf-8")
+    missplane.clear_registry()  # simulate a fresh process over this cache
+
+    assert main(SWEEP + ["--issue-rate", "4000000000"]) == 0  # survives
+    capsys.readouterr()
+    assert main(["cache", "verify", "--dir", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "QUARANTINED plane" in out
+    # The re-recorded plane is live and valid alongside the quarantined one.
+    assert "1 quarantined" in out
+    assert len(plane_dirs(tmp_path)) == 2
+
+    assert main(["cache", "purge", "--corrupt-only", "--dir", str(tmp_path)]) == 0
+    assert "1 artifact directories" in capsys.readouterr().out
+    assert main(["cache", "verify", "--dir", str(tmp_path)]) == 0
+    assert "0 corrupt, 0 quarantined" in capsys.readouterr().out
+
+
+def test_cache_purge_all_removes_artifact_directories(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(SWEEP) == 0
+    capsys.readouterr()
+    assert main(["cache", "purge", "--dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "purged 1 cache entries and 2 artifact directories" in out
+    assert plane_dirs(tmp_path) == []
+
+
+def test_bench_check_smoke(capsys):
+    assert main(["bench", "--check"]) == 0
+    assert "check OK" in capsys.readouterr().out
 
 
 def test_cache_commands_handle_missing_directory(tmp_path, capsys):

@@ -241,7 +241,12 @@ def test_single_worker_never_builds_a_pool(tmp_path, monkeypatch):
 def test_default_worker_count_is_cpu_count(tmp_path):
     par = ParallelRunner(config(tmp_path))
     assert par.workers == (os.cpu_count() or 1)
-    assert ParallelRunner(config(tmp_path), workers=0).workers == 1
+
+
+@pytest.mark.parametrize("workers", [0, -1, -8])
+def test_invalid_worker_count_is_rejected_up_front(tmp_path, workers):
+    with pytest.raises(ValueError, match="workers must be >= 1"):
+        ParallelRunner(config(tmp_path), workers=workers)
 
 
 def test_replicate_parallel_matches_serial():

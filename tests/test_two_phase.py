@@ -1,0 +1,393 @@
+"""Tests for the two-phase sweep engine (miss planes + decoupled replay).
+
+The contract: phase 1 runs the shared L1/TLB front-end once per
+geometry key and persists a *miss plane*; phase 2 replays it -- either
+event-filtered (``simulate(replay_plane=...)``) or timing-decoupled
+(:func:`replay_decoupled`) -- and produces **byte-identical** run
+records for every cell in the plane group.  Plane artifacts carry the
+run-record cache's integrity discipline: corrupt or diverging planes
+are quarantined with a structured event and the cell re-records,
+never a crash.
+"""
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.core.errors import CacheIntegrityError
+from repro.core.observe import EventLog
+from repro.core.params import RambusParams
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import ParallelRunner
+from repro.experiments.runner import Runner
+from repro.systems.factory import baseline_machine, rampage_machine, twoway_machine
+from repro.systems.simulator import simulate
+from repro.trace import filter as missplane
+from repro.trace import materialize
+from repro.trace.filter import (
+    MANIFEST_NAME,
+    PLANE_DIRNAME,
+    PlaneRecorder,
+    PlaneReplayError,
+    artifact_dir,
+    attach_plane,
+    commit_plane,
+    get_plane,
+    load_plane,
+    plane_eligible,
+    plane_key,
+    replay_decoupled,
+    structural_params,
+    write_plane,
+)
+from repro.trace.materialize import get_workload
+
+SCALE = 0.0002
+SLICE_REFS = 4_000
+SEED = 0
+RATES = (2 * 10**8, 10**9, 4 * 10**9)
+
+
+@pytest.fixture(autouse=True)
+def fresh_registries():
+    materialize.clear_registry()
+    missplane.clear_registry()
+    yield
+    materialize.clear_registry()
+    missplane.clear_registry()
+
+
+def programs():
+    return get_workload(SCALE, SEED, cache_dir=None).programs
+
+
+def run_plain(params):
+    return simulate(params, programs(), slice_refs=SLICE_REFS)
+
+
+def record_plane(params):
+    """Phase 1: a full run that also records the geometry's miss plane."""
+    recorder = PlaneRecorder(plane_key(params, SCALE, SEED, SLICE_REFS))
+    result = simulate(
+        params, programs(), slice_refs=SLICE_REFS, record_plane=recorder
+    )
+    return result, recorder.finalize()
+
+
+def config(cache_dir, rates=(10**9,), sizes=(128, 1024)):
+    return ExperimentConfig(
+        scale=SCALE,
+        slice_refs=SLICE_REFS,
+        issue_rates=rates,
+        sizes=sizes,
+        seed=SEED,
+        cache_dir=cache_dir,
+    )
+
+
+# ----------------------------------------------------------------------
+# Keying and eligibility
+# ----------------------------------------------------------------------
+
+
+def test_plane_key_ignores_timing_parameters():
+    """Cells that differ only in issue rate or Rambus timing share one
+    plane -- that sharing is the whole speedup."""
+    base = baseline_machine(10**9, 512)
+    keys = {plane_key(base, SCALE, SEED, SLICE_REFS)}
+    for rate in RATES:
+        keys.add(plane_key(replace(base, issue_rate_hz=rate), SCALE, SEED, SLICE_REFS))
+    slow_dram = replace(base, dram=RambusParams(access_ps=90_000, ps_per_beat=2_500))
+    keys.add(plane_key(slow_dram, SCALE, SEED, SLICE_REFS))
+    assert len(keys) == 1
+
+
+def test_plane_key_tracks_structural_parameters():
+    base = baseline_machine(10**9, 512)
+    key = plane_key(base, SCALE, SEED, SLICE_REFS)
+    assert plane_key(baseline_machine(10**9, 128), SCALE, SEED, SLICE_REFS) != key
+    assert plane_key(rampage_machine(10**9, 1024), SCALE, SEED, SLICE_REFS) != key
+    assert plane_key(base, SCALE, SEED + 1, SLICE_REFS) != key
+    assert plane_key(base, SCALE * 2, SEED, SLICE_REFS) != key
+    assert plane_key(base, SCALE, SEED, SLICE_REFS // 2) != key
+
+
+def test_structural_params_pins_only_timing_fields():
+    params = baseline_machine(4 * 10**9, 512, dram=RambusParams(access_ps=1))
+    pinned = structural_params(params)
+    assert pinned.issue_rate_hz == 10**9
+    assert pinned.dram == RambusParams()
+    assert replace(pinned, issue_rate_hz=params.issue_rate_hz, dram=params.dram) == params
+
+
+def test_eligibility():
+    assert plane_eligible(baseline_machine(10**9, 512))
+    assert plane_eligible(rampage_machine(10**9, 1024))
+    assert plane_eligible(twoway_machine(10**9, 512))  # 2-way L2, DM L1s
+    assert not plane_eligible(rampage_machine(10**9, 1024, switch_on_miss=True))
+
+
+# ----------------------------------------------------------------------
+# Replay equivalence: the acceptance criterion
+# ----------------------------------------------------------------------
+
+
+def machines():
+    return [
+        ("baseline", lambda rate: baseline_machine(rate, 512)),
+        ("rampage", lambda rate: rampage_machine(rate, 1024)),
+    ]
+
+
+@pytest.mark.parametrize("label,build", machines(), ids=[m[0] for m in machines()])
+def test_recording_run_is_byte_identical_to_plain_run(label, build):
+    params = build(10**9)
+    plain = run_plain(params)
+    recorded, _ = record_plane(params)
+    assert recorded.stats.as_dict() == plain.stats.as_dict()
+    assert recorded.time_ps == plain.time_ps
+
+
+@pytest.mark.parametrize("label,build", machines(), ids=[m[0] for m in machines()])
+def test_replays_match_full_simulation_across_rates(label, build):
+    """One plane recorded at one rate serves every rate in the sweep --
+    both the event-filtered and the timing-decoupled replay reproduce
+    the unfiltered run's stats exactly (preemption-free machines, so
+    chunk tails replay without divergence)."""
+    _, plane = record_plane(build(10**9))
+    for rate in RATES:
+        cell = build(rate)
+        expected = run_plain(cell).stats.as_dict()
+        filtered = simulate(
+            cell, programs(), slice_refs=SLICE_REFS, replay_plane=plane
+        )
+        assert filtered.stats.as_dict() == expected
+        decoupled = replay_decoupled(cell, plane)
+        assert decoupled.stats.as_dict() == expected
+
+
+def test_decoupled_replay_reprices_dram_timing():
+    """The tape is re-priced under the cell's own Rambus parameters,
+    not the recording's."""
+    _, plane = record_plane(baseline_machine(10**9, 512))
+    slow = baseline_machine(
+        10**9, 512, dram=RambusParams(access_ps=90_000, ps_per_beat=2_500)
+    )
+    expected = run_plain(slow).stats.as_dict()
+    assert replay_decoupled(slow, plane).stats.as_dict() == expected
+
+
+def test_decoupled_replay_rejects_ineligible_machines():
+    _, plane = record_plane(rampage_machine(10**9, 1024))
+    with pytest.raises(PlaneReplayError, match="not plane-eligible"):
+        replay_decoupled(rampage_machine(10**9, 1024, switch_on_miss=True), plane)
+
+
+# ----------------------------------------------------------------------
+# Disk artifacts: round-trip, integrity, quarantine
+# ----------------------------------------------------------------------
+
+
+def test_plane_round_trips_through_disk(tmp_path):
+    params = baseline_machine(10**9, 512)
+    _, plane = record_plane(params)
+    path = write_plane(artifact_dir(tmp_path, plane.key), plane)
+    assert path.parent == tmp_path / PLANE_DIRNAME
+    attached = load_plane(path)
+    assert attached.key == plane.key
+    assert attached.cycle_ps == plane.cycle_ps
+    assert attached.stats == plane.stats
+    assert list(attached.tape) == list(plane.tape)
+    for rate in RATES:
+        cell = baseline_machine(rate, 512)
+        assert (
+            replay_decoupled(cell, attached).stats.as_dict()
+            == replay_decoupled(cell, plane).stats.as_dict()
+        )
+
+
+def test_attach_plane_memoizes_by_path(tmp_path):
+    _, plane = record_plane(baseline_machine(10**9, 512))
+    path = write_plane(artifact_dir(tmp_path, plane.key), plane)
+    first = attach_plane(path)
+    assert attach_plane(path) is first
+
+
+@pytest.mark.parametrize(
+    "damage",
+    [
+        lambda path: (path / "tape.npy").write_bytes(b"torn"),
+        lambda path: (path / MANIFEST_NAME).write_text("{ torn", "utf-8"),
+        lambda path: (path / "events.npy").unlink(),
+    ],
+    ids=["truncated-tape", "torn-manifest", "missing-events"],
+)
+def test_corrupt_artifact_is_quarantined_miss(tmp_path, damage):
+    params = baseline_machine(10**9, 512)
+    _, plane = record_plane(params)
+    path = write_plane(artifact_dir(tmp_path, plane.key), plane)
+    damage(path)
+    with pytest.raises(CacheIntegrityError):
+        load_plane(path)
+    events = EventLog()
+    assert get_plane(plane.key, cache_dir=tmp_path, events=events) is None
+    quarantined = events.of("plane_quarantined")
+    assert len(quarantined) == 1
+    assert missplane.QUARANTINE_SUFFIX in quarantined[0]["path"]
+    assert quarantined[0]["reason"]
+    assert Path(quarantined[0]["path"]).exists()
+    assert not path.exists()
+
+
+def test_tampered_timing_checksum_is_rejected(tmp_path):
+    _, plane = record_plane(baseline_machine(10**9, 512))
+    path = write_plane(artifact_dir(tmp_path, plane.key), plane)
+    manifest = json.loads((path / MANIFEST_NAME).read_text("utf-8"))
+    manifest["timing"]["stats"]["l2_misses"] += 1
+    (path / MANIFEST_NAME).write_text(json.dumps(manifest), "utf-8")
+    with pytest.raises(CacheIntegrityError, match="timing"):
+        load_plane(path)
+
+
+# ----------------------------------------------------------------------
+# Runner integration
+# ----------------------------------------------------------------------
+
+
+def test_runner_two_phase_cache_bytes_identical_to_single_phase(tmp_path):
+    """The acceptance criterion end to end: a two-phase sweep leaves
+    byte-identical cache records behind, for conventional and
+    non-switching RAMpage grids, across every rate."""
+    cfg_rates = RATES
+    single = Runner(config(tmp_path / "single", rates=cfg_rates), two_phase=False)
+    two = Runner(config(tmp_path / "two", rates=cfg_rates))
+    for label in ("baseline", "rampage"):
+        single.grid(label)
+        two.grid(label)
+    a = sorted((tmp_path / "single").glob("*.json"))
+    b = sorted((tmp_path / "two").glob("*.json"))
+    assert [p.name for p in a] == [p.name for p in b]
+    for pa, pb in zip(a, b):
+        assert pa.read_bytes() == pb.read_bytes()
+
+
+def test_runner_records_once_then_replays_per_geometry(tmp_path):
+    runner = Runner(config(tmp_path, rates=RATES, sizes=(1024,)))
+    runner.grid("rampage")
+    modes = [e["mode"] for e in runner.events.of("cell_completed")]
+    assert modes.count("recorded") == 1
+    assert modes.count("replayed") == len(RATES) - 1
+    planes = [p for p in (tmp_path / PLANE_DIRNAME).iterdir() if p.is_dir()]
+    assert len(planes) == 1
+
+
+def test_switch_on_miss_cells_never_use_planes(tmp_path):
+    runner = Runner(config(tmp_path, rates=RATES, sizes=(1024,)))
+    runner.grid("rampage_som")
+    assert {e["mode"] for e in runner.events.of("cell_completed")} == {"full"}
+    plane_dir = tmp_path / PLANE_DIRNAME
+    assert not plane_dir.exists() or not any(plane_dir.iterdir())
+
+
+def test_runner_survives_invariant_tripping_plane(tmp_path):
+    """A plane whose snapshot breaks a decoupling invariant is discarded
+    (quarantine event) and the cell re-records -- same record, no crash."""
+    params = baseline_machine(10**9, 512)
+    pkey = plane_key(params, SCALE, SEED, SLICE_REFS)
+    _, plane = record_plane(params)
+    poisoned = dict(plane.stats)
+    poisoned["dram_stall_ps"] = 1  # decoupling says this is always 0
+    plane.stats = poisoned
+    commit_plane(plane, cache_dir=tmp_path)
+
+    runner = Runner(config(tmp_path, sizes=(512,)))
+    expected = Runner(
+        config(tmp_path / "ref", sizes=(512,)), two_phase=False
+    ).record("baseline", params)
+    record = runner.record("baseline", params)
+    assert record == expected
+    quarantined = runner.events.of("plane_quarantined")
+    assert len(quarantined) == 1
+    assert quarantined[0]["key"] == pkey
+    assert "invariant" in quarantined[0]["reason"]
+    # The cell re-recorded a fresh, valid plane for its siblings.
+    assert [e["mode"] for e in runner.events.of("cell_completed")] == ["recorded"]
+    fresh = get_plane(pkey, cache_dir=tmp_path)
+    assert fresh is not None
+    assert replay_decoupled(params, fresh).stats.as_dict() == expected.stats
+
+
+def test_parallel_two_phase_matches_serial_with_mode_counts(tmp_path):
+    cfg_kwargs = dict(rates=RATES, sizes=(128, 1024))
+    serial = Runner(config(tmp_path / "serial", **cfg_kwargs))
+    for label in ("baseline", "rampage", "rampage_som"):
+        serial.grid(label)
+
+    par = ParallelRunner(config(tmp_path / "par", **cfg_kwargs), workers=2)
+    assert par.prefetch(("baseline", "rampage", "rampage_som")) == 18
+
+    a = sorted((tmp_path / "serial").glob("*.json"))
+    b = sorted((tmp_path / "par").glob("*.json"))
+    assert [p.name for p in a] == [p.name for p in b]
+    for pa, pb in zip(a, b):
+        assert pa.read_bytes() == pb.read_bytes()
+
+    def mode_counts(runner):
+        modes = [e["mode"] for e in runner.events.of("cell_completed")]
+        return {mode: modes.count(mode) for mode in set(modes)}
+
+    # 4 plane groups (2 eligible labels x 2 sizes): one recording each,
+    # the other rates replay; the switch-on-miss grid runs unfiltered.
+    assert mode_counts(serial) == {"recorded": 4, "replayed": 8, "full": 6}
+    assert mode_counts(par) == mode_counts(serial)
+
+
+def test_runner_without_cache_dir_still_two_phases_in_memory():
+    runner = Runner(config(None, rates=RATES, sizes=(1024,)))
+    runner.grid("rampage")
+    modes = [e["mode"] for e in runner.events.of("cell_completed")]
+    assert modes.count("recorded") == 1
+    assert modes.count("replayed") == len(RATES) - 1
+
+
+# ----------------------------------------------------------------------
+# Registry bounds (filter and materialize share the FIFO discipline)
+# ----------------------------------------------------------------------
+
+
+def test_filter_registry_is_bounded_fifo():
+    _, plane = record_plane(baseline_machine(10**9, 512))
+    for index in range(missplane._REGISTRY_MAX + 3):
+        missplane._remember((f"key-{index}", None), plane)
+    assert len(missplane._REGISTRY) == missplane._REGISTRY_MAX
+    # FIFO: the oldest entries were evicted, the newest survive.
+    assert ("key-0", None) not in missplane._REGISTRY
+    assert (f"key-{missplane._REGISTRY_MAX + 2}", None) in missplane._REGISTRY
+
+
+def test_filter_registry_rewrite_does_not_evict():
+    _, plane = record_plane(baseline_machine(10**9, 512))
+    for index in range(missplane._REGISTRY_MAX):
+        missplane._remember((f"key-{index}", None), plane)
+    missplane._remember(("key-0", None), plane)  # refresh, registry full
+    assert len(missplane._REGISTRY) == missplane._REGISTRY_MAX
+    assert ("key-1", None) in missplane._REGISTRY
+
+
+def test_materialize_registry_is_bounded_fifo():
+    sentinel = object()
+    for index in range(materialize._REGISTRY_MAX + 3):
+        materialize._remember((f"key-{index}",), sentinel)
+    assert len(materialize._REGISTRY) == materialize._REGISTRY_MAX
+    assert ("key-0",) not in materialize._REGISTRY
+
+
+def test_materialize_registry_rewrite_does_not_evict():
+    sentinel = object()
+    for index in range(materialize._REGISTRY_MAX):
+        materialize._remember((f"key-{index}",), sentinel)
+    materialize._remember(("key-0",), sentinel)
+    assert len(materialize._REGISTRY) == materialize._REGISTRY_MAX
+    assert ("key-1",) in materialize._REGISTRY

@@ -1,356 +1,29 @@
 #!/usr/bin/env python3
-"""Record a simulator-throughput snapshot in BENCH_throughput.json.
+"""Thin launcher for :mod:`repro.bench` (``rampage-sim bench``).
 
-Two instruments, both appended as one snapshot:
+Kept so existing invocations (CI, docs, muscle memory) keep working:
 
-* **hot-loop throughput** -- references simulated per wall-clock second
-  per machine, the same drive loop as
-  ``benchmarks/bench_simulator_throughput.py``.  Each round drives a
-  fresh machine over ~120 k references; the best of ``--rounds``
-  (default 4) is recorded, which filters scheduler noise the way
-  pytest-benchmark's min-based ranking does.
-* **multi-cell sweep wall-clock** -- a serial :class:`Runner` filling a
-  cold run-record cache, measured twice: with live per-cell trace
-  synthesis (the pre-materialization behaviour) and with the
-  materialized workload plane (synthesize once, replay everywhere).
-  The recorded ``speedup`` is the headline number for the trace plane.
-  ``--baseline-src`` additionally runs the sweep against another source
-  tree (a git worktree of an earlier commit) so the snapshot can record
-  end-to-end speedup over that commit -- which also credits hot-loop
-  work that speeds up *both* in-tree paths and therefore cancels out of
-  the in-tree ratio.
+    PYTHONPATH=src python tools/bench_snapshot.py [--rounds N] [--check] ...
 
-Environment fields (host, python, cpu) are **derived, never
-hand-edited**: earlier snapshots drifted ("container" vs "vm" for the
-same machine) because they were typed in; this tool now computes them
-itself on every append and warns when the environment changed since the
-previous snapshot, since refs/s are only comparable within one host.
-
-``--check`` runs a fast self-test on a tiny workload instead of
-benchmarking: materialized replay must be byte-identical to live
-synthesis and run records must match between the two paths.  CI uses it
-as a smoke gate so the vectorized/materialized fast paths cannot
-silently desync from the reference behaviour.
-
-Usage:
-    PYTHONPATH=src python tools/bench_snapshot.py [--rounds N] [--note TEXT]
-    PYTHONPATH=src python tools/bench_snapshot.py --check
+The implementation lives in ``src/repro/bench.py``; this shim only
+anchors the default snapshot path to the repository root (the package
+default is the current directory).
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import os
-import platform
-import subprocess
 import sys
-import tempfile
-from datetime import date
 from pathlib import Path
 
-import numpy as np
-
-from repro.core.timer import ScopedTimer, refs_per_second
-from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import Runner
-from repro.systems.factory import baseline_machine, build_system, rampage_machine
-from repro.trace import materialize
-from repro.trace.interleave import InterleavedWorkload
-from repro.trace.synthetic import build_workload
-
-REFS = 120_000
-SCALE = 0.0002
-SLICE_REFS = 10_000
-
-MACHINES = {
-    "conventional": lambda: baseline_machine(10**9, 512),
-    "rampage": lambda: rampage_machine(10**9, 1024),
-}
-
-#: Multi-cell sweep shape: two grids over three sizes at one rate --
-#: six cells sharing one workload, the pattern every paper table sweeps.
-SWEEP_LABELS = ("baseline", "rampage")
-SWEEP_SIZES = (128, 512, 2048)
-SWEEP_RATES = (10**9,)
-SWEEP_SCALE = 0.0002
-SWEEP_SLICE_REFS = 10_000
-
-
-def environment() -> dict:
-    """Derived environment fields -- never taken from hand-edited JSON."""
-    return {
-        "host": platform.node() or "unknown",
-        "os": f"{platform.system()} {platform.release()}",
-        "arch": platform.machine(),
-        "python": platform.python_version(),
-        "cpu_count": os.cpu_count(),
-    }
-
-
-def drive(params) -> int:
-    system = build_system(params)
-    workload = InterleavedWorkload(
-        build_workload(scale=SCALE), slice_refs=SLICE_REFS
-    )
-    consumed = 0
-    while consumed < REFS:
-        chunk = workload.next_chunk()
-        if chunk is None:
-            break
-        consumed += system.run_chunk(chunk)
-    return consumed
-
-
-def measure(rounds: int) -> dict[str, int]:
-    throughput: dict[str, int] = {}
-    for name, build in MACHINES.items():
-        best = 0.0
-        for _ in range(rounds):
-            params = build()
-            with ScopedTimer() as timer:
-                consumed = drive(params)
-            best = max(best, refs_per_second(consumed, timer.elapsed))
-        throughput[name] = int(round(best))
-        print(f"{name}: {throughput[name]:,} refs/s (best of {rounds})")
-    return throughput
-
-
-def sweep_config(cache_dir: Path) -> ExperimentConfig:
-    return ExperimentConfig(
-        scale=SWEEP_SCALE,
-        slice_refs=SWEEP_SLICE_REFS,
-        issue_rates=SWEEP_RATES,
-        sizes=SWEEP_SIZES,
-        seed=0,
-        cache_dir=cache_dir,
-    )
-
-
-def run_sweep(materialized: bool) -> float:
-    """One cold-cache serial sweep; returns its wall-clock seconds.
-
-    A fresh temp cache directory per call keeps both the run-record
-    cache and the trace plane cold (the in-process registry keys on the
-    cache directory), so every round pays full synthesis cost -- once
-    per cell on the legacy path, once per sweep on the materialized one.
-    """
-    with tempfile.TemporaryDirectory(prefix="bench-sweep-") as tmp:
-        runner = Runner(sweep_config(Path(tmp)), materialize=materialized)
-        with ScopedTimer() as timer:
-            for label in SWEEP_LABELS:
-                runner.grid(label)
-        return timer.elapsed
-
-
-def measure_sweep(rounds: int) -> dict:
-    cells = len(SWEEP_LABELS) * len(SWEEP_SIZES) * len(SWEEP_RATES)
-    legacy = min(run_sweep(materialized=False) for _ in range(rounds))
-    materialized = min(run_sweep(materialized=True) for _ in range(rounds))
-    speedup = legacy / materialized if materialized else float("inf")
-    print(
-        f"sweep ({cells} cells, cold cache): legacy {legacy:.3f}s, "
-        f"materialized {materialized:.3f}s, speedup {speedup:.2f}x"
-    )
-    return {
-        "cells": cells,
-        "labels": list(SWEEP_LABELS),
-        "sizes": list(SWEEP_SIZES),
-        "scale": SWEEP_SCALE,
-        "slice_refs": SWEEP_SLICE_REFS,
-        "legacy_wall_s": round(legacy, 4),
-        "materialized_wall_s": round(materialized, 4),
-        "speedup": round(speedup, 3),
-    }
-
-
-#: Subprocess harness for --baseline-src: runs the same sweep shape
-#: against a different source tree (typically a git worktree of an
-#: earlier commit) so a snapshot can record speedup over a historical
-#: baseline with numbers produced by this same harness.  Older trees
-#: predate the Runner ``materialize`` flag; the TypeError fallback runs
-#: their only (regenerate-per-cell) path.
-_BASELINE_HARNESS = """
-import json, sys, tempfile, time
-from pathlib import Path
-from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import Runner
-
-labels, sizes, rates, scale, slice_refs, rounds = json.loads(sys.argv[1])
-best_wall = best_cpu = float("inf")
-for _ in range(rounds):
-    with tempfile.TemporaryDirectory(prefix="bench-sweep-") as tmp:
-        config = ExperimentConfig(
-            scale=scale, slice_refs=slice_refs, issue_rates=tuple(rates),
-            sizes=tuple(sizes), seed=0, cache_dir=Path(tmp),
-        )
-        try:
-            runner = Runner(config, materialize=False)
-        except TypeError:
-            runner = Runner(config)
-        wall0, cpu0 = time.perf_counter(), time.process_time()
-        for label in labels:
-            runner.grid(label)
-        best_wall = min(best_wall, time.perf_counter() - wall0)
-        best_cpu = min(best_cpu, time.process_time() - cpu0)
-print(json.dumps({"wall_s": best_wall, "cpu_s": best_cpu}))
-"""
-
-
-def measure_baseline_src(src: str, rounds: int) -> dict:
-    """Best-of-``rounds`` sweep wall/cpu seconds for another source tree."""
-    shape = json.dumps(
-        [
-            list(SWEEP_LABELS),
-            list(SWEEP_SIZES),
-            list(SWEEP_RATES),
-            SWEEP_SCALE,
-            SWEEP_SLICE_REFS,
-            rounds,
-        ]
-    )
-    env = dict(os.environ, PYTHONPATH=src)
-    out = subprocess.run(
-        [sys.executable, "-c", _BASELINE_HARNESS, shape],
-        env=env,
-        capture_output=True,
-        text=True,
-        check=True,
-    )
-    return json.loads(out.stdout.strip().splitlines()[-1])
-
-
-def check() -> int:
-    """Fast self-test: materialized replay == live synthesis, tiny scale.
-
-    Exit code 1 on any divergence.  Cheap enough for CI (a few seconds):
-    the goal is catching a desync between the materialized/vectorized
-    fast paths and the reference behaviour, not measuring speed.
-    """
-    scale, seed = 0.00005, 0
-    materialize.clear_registry()
-    live = build_workload(scale, seed=seed)
-    plane = materialize.get_workload(scale, seed, cache_dir=None)
-    for a, b in zip(live, plane.programs):
-        for field in ("kinds", "addrs"):
-            flat_live = np.concatenate([getattr(c, field) for c in a.chunks()])
-            flat_plane = np.concatenate([getattr(c, field) for c in b.chunks()])
-            if not np.array_equal(flat_live, flat_plane):
-                print(
-                    f"CHECK FAILED: {a.spec.name} {field} diverge between "
-                    "live synthesis and materialized replay"
-                )
-                return 1
-    config = ExperimentConfig(
-        scale=scale,
-        slice_refs=4_000,
-        issue_rates=(10**9,),
-        sizes=(128,),
-        seed=seed,
-        cache_dir=None,
-    )
-    machines = {
-        "baseline": baseline_machine(10**9, 512),
-        "rampage_som": rampage_machine(10**9, 1024, switch_on_miss=True),
-    }
-    for label, params in machines.items():
-        legacy = Runner(config, materialize=False).record(label, params)
-        replay = Runner(config).record(label, params)
-        if legacy.as_dict() != replay.as_dict():
-            print(f"CHECK FAILED: {label} records diverge between paths")
-            return 1
-    print(
-        f"check OK: {plane.total_refs} refs replay byte-identical; "
-        f"records match on {', '.join(machines)}"
-    )
-    return 0
+from repro import bench
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--rounds", type=int, default=4)
-    parser.add_argument(
-        "--sweep-rounds",
-        type=int,
-        default=3,
-        help="rounds for the multi-cell sweep benchmark",
-    )
-    parser.add_argument("--note", default="", help="what changed since the last snapshot")
-    parser.add_argument(
-        "--baseline-src",
-        default="",
-        help=(
-            "src directory of another checkout (e.g. a git worktree of an "
-            "earlier commit); the sweep is also run there and the snapshot "
-            "records speedup against it"
-        ),
-    )
-    parser.add_argument(
-        "--baseline-label",
-        default="",
-        help="how to label the --baseline-src tree (e.g. a commit id)",
-    )
-    parser.add_argument(
-        "--check",
-        action="store_true",
-        help="fast equivalence self-test (no benchmark, no file write)",
-    )
-    args = parser.parse_args(argv)
-
-    if args.check:
-        return check()
-
-    path = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
-    if path.exists():
-        data = json.loads(path.read_text("utf-8"))
-    else:
-        data = {
-            "unit": "refs_per_second",
-            "workload": {"refs": REFS, "scale": SCALE, "slice_refs": SLICE_REFS},
-            "snapshots": [],
-        }
-
-    env = environment()
-    snapshots = data.get("snapshots", [])
-    if snapshots:
-        last = snapshots[-1]
-        drift = [
-            key
-            for key in ("host", "python", "cpu_count")
-            if key in last and last[key] != env[key]
-        ]
-        if drift:
-            print(
-                "note: environment changed since last snapshot "
-                f"({', '.join(drift)}); refs/s are only comparable within one host"
-            )
-
-    snapshot = {
-        "date": date.today().isoformat(),
-        **env,
-        "note": args.note,
-        "throughput": measure(args.rounds),
-        "sweep": measure_sweep(args.sweep_rounds),
-    }
-    if args.baseline_src:
-        baseline = measure_baseline_src(args.baseline_src, args.sweep_rounds)
-        materialized = snapshot["sweep"]["materialized_wall_s"]
-        baseline["label"] = args.baseline_label or args.baseline_src
-        baseline["wall_s"] = round(baseline["wall_s"], 4)
-        baseline["cpu_s"] = round(baseline["cpu_s"], 4)
-        baseline["speedup_vs_materialized"] = round(
-            baseline["wall_s"] / materialized, 3
-        )
-        snapshot["sweep"]["baseline"] = baseline
-        print(
-            f"baseline [{baseline['label']}]: {baseline['wall_s']:.3f}s, "
-            f"materialized speedup {baseline['speedup_vs_materialized']:.2f}x"
-        )
-    snapshots.append(snapshot)
-    data["snapshots"] = snapshots
-    path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
-    print(f"wrote {path}")
-    return 0
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if "--out" not in argv:
+        repo_root = Path(__file__).resolve().parent.parent
+        argv += ["--out", str(repo_root / "BENCH_throughput.json")]
+    return bench.main(argv)
 
 
 if __name__ == "__main__":
