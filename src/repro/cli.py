@@ -8,6 +8,8 @@ Subcommands::
     rampage-sim sweep --kind rampage ...  # one ad-hoc simulation cell
     rampage-sim cache stats|verify|purge  # inspect/repair the run cache
     rampage-sim bench [--check]           # throughput snapshot / self-test
+    rampage-sim serve                     # sweep-service HTTP daemon
+    rampage-sim submit|status|watch|fetch # talk to a running daemon
 
 Workload scaling comes from the ``REPRO_*`` environment variables (see
 :mod:`repro.experiments.config`) or the ``--scale`` / ``--slice-refs``
@@ -164,6 +166,70 @@ def _build_parser() -> argparse.ArgumentParser:
         help="record a simulator-throughput snapshot (or --check self-test)",
     )
     bench.add_arguments(bench_cmd)
+
+    serve_cmd = sub.add_parser(
+        "serve", help="run the sweep-service HTTP daemon (docs/service.md)"
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port", type=int, default=8337, help="0 picks a free port"
+    )
+    serve_cmd.add_argument(
+        "--workers",
+        type=int,
+        help="worker processes per job sweep (default: one per core)",
+    )
+    serve_cmd.add_argument(
+        "--queue-limit",
+        type=int,
+        default=8,
+        help="max queued+running jobs before submissions get 429",
+    )
+    serve_cmd.add_argument(
+        "--state-dir",
+        help="job-journal directory (default: <cache_dir>/service)",
+    )
+
+    def add_url(cmd):
+        cmd.add_argument(
+            "--url",
+            default="http://127.0.0.1:8337",
+            help="sweep-service base URL",
+        )
+
+    submit_cmd = sub.add_parser(
+        "submit", help="submit a sweep job to a running daemon"
+    )
+    add_url(submit_cmd)
+    submit_cmd.add_argument(
+        "--labels",
+        help="comma-separated grid labels (default: baseline,rampage)",
+    )
+    submit_cmd.add_argument("--rates", help="comma-separated issue rates (Hz)")
+    submit_cmd.add_argument("--sizes", help="comma-separated block/page bytes")
+    submit_cmd.add_argument("--scale", type=float, help="workload scale factor")
+    submit_cmd.add_argument("--slice-refs", type=int, help="scheduling quantum")
+    submit_cmd.add_argument("--seed", type=int, help="workload seed")
+    submit_cmd.add_argument(
+        "--wait", action="store_true", help="stream progress until terminal"
+    )
+
+    status_cmd = sub.add_parser("status", help="show one job (or all jobs)")
+    add_url(status_cmd)
+    status_cmd.add_argument("job_id", nargs="?", help="job id; omit to list")
+
+    watch_cmd = sub.add_parser("watch", help="stream a job's SSE progress")
+    add_url(watch_cmd)
+    watch_cmd.add_argument("job_id")
+
+    fetch_cmd = sub.add_parser(
+        "fetch", help="download a job's run records, byte-identical"
+    )
+    add_url(fetch_cmd)
+    fetch_cmd.add_argument("job_id")
+    fetch_cmd.add_argument(
+        "--out", required=True, help="directory receiving <key>.json files"
+    )
     return parser
 
 
@@ -203,15 +269,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         return 2
     runner = _make_runner(args)
+    failures = 0
     for name in names:
-        with ScopedTimer() as timer:
-            output = EXPERIMENTS[name](runner)
+        try:
+            with ScopedTimer() as timer:
+                output = EXPERIMENTS[name](runner)
+        except Exception as exc:
+            # A failed cell must fail the invocation, not just print:
+            # scripts and CI gate on the exit code.
+            print(f"error: {name} failed: {exc}", file=sys.stderr)
+            failures += 1
+            continue
         print(output.text)
         print(f"[{name} finished in {timer.elapsed:.2f} s]")
         print()
         if args.out:
             path = output.write_to(args.out)
             print(f"[written to {path}]")
+    if failures:
+        print(f"{failures} experiment(s) failed", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -232,8 +309,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.no_cache:
         config = replace(config, cache_dir=None)
     runner = Runner(config)
-    with ScopedTimer() as timer:
-        record = runner.record(label, params)
+    try:
+        with ScopedTimer() as timer:
+            record = runner.record(label, params)
+    except Exception as exc:
+        print(f"error: sweep failed: {exc}", file=sys.stderr)
+        return 1
     stats = record.stats
     throughput = refs_per_second(record.workload_refs, timer.elapsed)
     cache_state = "hit" if runner.cache_stats.hits else "miss"
@@ -298,6 +379,14 @@ def _cache_stats(cache_dir: Path, args: argparse.Namespace) -> int:
     if undecodable:
         print(f"undecodable records: {undecodable} (run 'cache verify')")
     print(f"quarantined files: {len(quarantined)}")
+    for kind, root, _ in _ARTIFACT_LAYOUTS:
+        live, held = _artifact_dirs(root(cache_dir))
+        live_bytes = sum(_dir_bytes(path) for path in live)
+        held_bytes = sum(_dir_bytes(path) for path in held)
+        print(
+            f"{kind} artifacts: {len(live)} ({live_bytes:,} bytes), "
+            f"quarantined: {len(held)} ({held_bytes:,} bytes)"
+        )
     manifest = read_manifest(cache_dir)
     if manifest is not None:
         counters = manifest.get("cache", {})
@@ -312,6 +401,13 @@ _ARTIFACT_LAYOUTS: tuple[tuple[str, Callable, Callable], ...] = (
     ("trace", materialize.trace_root, materialize.load_artifact),
     ("plane", missplane.plane_root, missplane.load_plane),
 )
+
+
+def _dir_bytes(root: Path) -> int:
+    """Total size of every file under an artifact directory."""
+    return sum(
+        path.stat().st_size for path in root.rglob("*") if path.is_file()
+    )
 
 
 def _artifact_dirs(root: Path) -> tuple[list[Path], list[Path]]:
@@ -400,6 +496,179 @@ def _cache_purge(cache_dir: Path, args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Sweep-service verbs (docs/service.md)
+# ----------------------------------------------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.errors import ConfigurationError
+    from repro.service.server import serve
+
+    def announce(service) -> None:
+        print(
+            f"sweep service listening on {service.base_url} "
+            f"(cache {service.config.cache_dir}, "
+            f"queue limit {service.scheduler.queue_limit})",
+            flush=True,
+        )
+
+    try:
+        serve(
+            ExperimentConfig.from_env(),
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            state_dir=args.state_dir,
+            ready=announce,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _spec_payload(args: argparse.Namespace) -> dict:
+    """The JSON job spec a ``submit`` invocation describes."""
+    payload: dict = {}
+    if args.labels:
+        payload["labels"] = [
+            token for token in args.labels.split(",") if token
+        ]
+    if args.rates:
+        payload["rates"] = [
+            int(float(token)) for token in args.rates.split(",") if token
+        ]
+    if args.sizes:
+        payload["sizes"] = [
+            int(token) for token in args.sizes.split(",") if token
+        ]
+    for field in ("scale", "slice_refs", "seed"):
+        value = getattr(args, field, None)
+        if value is not None:
+            payload[field] = value
+    return payload
+
+
+def _print_progress(name: str, payload: dict) -> None:
+    if name == "cell_completed":
+        print(
+            f"[{payload.get('done')}/{payload.get('total')}] "
+            f"cell {payload.get('key')} mode={payload.get('mode')}"
+        )
+    elif name == "job_running":
+        print(f"job running ({payload.get('total')} cells)")
+
+
+def _watch_to_completion(client, job_id: str) -> int:
+    final = client.wait(job_id, on_event=_print_progress)
+    print(
+        f"job {final['id']}: {final['status']} "
+        f"({final['done']}/{final['total']} cells, modes {final['modes']})"
+    )
+    if final["status"] != "completed":
+        if final.get("error"):
+            print(f"error: {final['error']}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _job_line(job: dict) -> str:
+    return (
+        f"{job['id']}  {job['status']:9s}  "
+        f"{job['done']}/{job['total']} cells  "
+        f"labels={','.join(job['spec']['labels'])}"
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    job = client.submit(_spec_payload(args))
+    admission = job.get("admission", {})
+    print(
+        f"job {job['id']}: {job['status']} "
+        f"({'new' if job.get('created') else 'existing'})"
+    )
+    print(
+        f"cells: {job['total']} total, {admission.get('cached', 0)} cached, "
+        f"{admission.get('inflight', 0)} in flight, "
+        f"{admission.get('fresh', 0)} fresh"
+    )
+    if args.wait:
+        return _watch_to_completion(client, job["id"])
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.job_id:
+        job = client.job(args.job_id)
+        print(_job_line(job))
+        if job.get("modes"):
+            print(f"modes: {job['modes']}")
+        if job.get("error"):
+            print(f"error: {job['error']}")
+        return 1 if job["status"] == "failed" else 0
+    jobs = client.jobs()
+    if not jobs:
+        print("no jobs")
+        return 0
+    for job in jobs:
+        print(_job_line(job))
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    return _watch_to_completion(ServiceClient(args.url), args.job_id)
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    manifest = client.records(args.job_id)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    fetched = missing = 0
+    for cell in manifest["records"]:
+        if not cell["present"]:
+            missing += 1
+            continue
+        (out / f"{cell['key']}.json").write_bytes(
+            client.fetch_record(cell["key"])
+        )
+        fetched += 1
+    note = f", {missing} not yet present" if missing else ""
+    print(f"fetched {fetched} records to {out}{note}")
+    return 1 if missing else 0
+
+
+_SERVICE_COMMANDS = {
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "watch": _cmd_watch,
+    "fetch": _cmd_fetch,
+}
+
+
+def _cmd_service(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError
+
+    try:
+        return _SERVICE_COMMANDS[args.command](args)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.analysis.figures_svg import write_figure_svgs
 
@@ -424,6 +693,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_cache(args)
     if args.command == "bench":
         return bench.run(args)
+    if args.command in _SERVICE_COMMANDS:
+        return _cmd_service(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -12,7 +12,11 @@ runners three small instruments:
   always accumulate in memory (a bounded tail, so tests and callers can
   inspect them); they are additionally appended to a file when a path
   is configured (``REPRO_EVENT_LOG``).  Appends are line-buffered per
-  event, so concurrent sweeps can share one log file.
+  event and serialized under a lock, so pool callbacks and server
+  request threads can share one log without interleaving JSONL lines.
+  Listeners registered with :meth:`EventLog.subscribe` observe every
+  emitted payload -- the bridge the sweep service uses to stream
+  progress to HTTP clients.
 * :class:`CacheStats` -- per-runner counters over the cache layers
   (memory hits, disk hits, misses, stores, quarantines, evictions).
 * a cache **manifest** -- one JSON summary per cache directory, written
@@ -31,9 +35,11 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable
 
 #: Manifest schema tag, bumped when the manifest layout changes.
 MANIFEST_SCHEMA = "rampage-manifest/1"
@@ -91,28 +97,57 @@ class EventLog:
         self.path = Path(path) if path else None
         self._clock = clock
         self._keep = max(1, int(keep))
+        self._lock = threading.Lock()
+        self._listeners: list[Callable[[dict], None]] = []
         self.events: list[dict] = []
 
+    def subscribe(self, listener: Callable[[dict], None]) -> Callable[[dict], None]:
+        """Register ``listener`` to receive every emitted payload."""
+        with self._lock:
+            self._listeners.append(listener)
+        return listener
+
+    def unsubscribe(self, listener: Callable[[dict], None]) -> None:
+        """Remove a listener; unknown listeners are ignored."""
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
     def emit(self, event: str, **fields: object) -> dict:
-        """Record one event; returns the payload that was logged."""
+        """Record one event; returns the payload that was logged.
+
+        Thread-safe: the in-memory append, tail rotation and file
+        append happen under one lock, so threads sharing a log never
+        interleave half-written JSONL lines or race the rotation.
+        Listeners run outside the lock (a slow listener must not stall
+        other emitters) but see payloads in a consistent order per
+        emitting thread.
+        """
         payload: dict = {
             "ts": round(float(self._clock()), 6),
             "pid": os.getpid(),
             "event": event,
         }
         payload.update(fields)
-        self.events.append(payload)
-        if len(self.events) > self._keep:
-            del self.events[: len(self.events) - self._keep]
-        if self.path is not None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(json.dumps(payload) + "\n")
+        with self._lock:
+            self.events.append(payload)
+            if len(self.events) > self._keep:
+                del self.events[: len(self.events) - self._keep]
+            if self.path is not None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write(json.dumps(payload) + "\n")
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(payload)
         return payload
 
     def of(self, event: str) -> list[dict]:
         """The in-memory tail filtered to one event name."""
-        return [item for item in self.events if item["event"] == event]
+        with self._lock:
+            return [item for item in self.events if item["event"] == event]
 
 
 def read_events(path: str | Path) -> list[dict]:

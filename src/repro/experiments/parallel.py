@@ -165,8 +165,11 @@ class ParallelRunner(Runner):
         progress: ProgressFn | None = None,
         materialize: bool = True,
         two_phase: bool = True,
+        events=None,
     ) -> None:
-        super().__init__(config, materialize=materialize, two_phase=two_phase)
+        super().__init__(
+            config, events=events, materialize=materialize, two_phase=two_phase
+        )
         if workers is None:
             self.workers = default_workers()
         else:

@@ -1,0 +1,429 @@
+"""Durable sweep jobs: idempotent keys, an append-only journal, recovery.
+
+A *job* is one sweep request -- a set of grid labels plus the workload
+knobs (scale, slice, rates, sizes, seed) that pin its cells.  Jobs are
+**idempotent by construction**: the job id is a hash over the sorted
+cache keys of the cells the job would simulate, so submitting the same
+grid twice yields the same job, not a second sweep.
+
+Durability comes from an **append-only JSONL journal** under the
+service state directory.  Every state transition is one line::
+
+    {"op": "submit", "id": ..., "spec": {...}, "cells": [...]}
+    {"op": "start",  "id": ...}
+    {"op": "cell",   "id": ..., "key": ..., "mode": ...}
+    {"op": "done",   "id": ...}   /   {"op": "fail", "id": ..., "error": ...}
+
+On restart :meth:`JobStore.recover` replays the journal: jobs without a
+terminal op come back ``queued`` and are re-executed.  Cells completed
+before a crash live in the run-record cache, so a resumed job finishes
+them as cache hits -- the journal only has to remember *that* the job
+was accepted, never simulation state.  A torn trailing line (``kill
+-9`` mid-append) is skipped, the same policy as
+:func:`repro.core.observe.read_events`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.core.errors import ConfigurationError
+from repro.core.observe import EventLog
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import GRID_BUILDERS, Runner
+
+#: Journal schema tag, embedded in every line for forward compatibility.
+JOURNAL_SCHEMA = "rampage-job/1"
+
+JOURNAL_NAME = "journal.jsonl"
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+COMPLETED = "completed"
+FAILED = "failed"
+
+#: States a job can still make progress from.
+ACTIVE_STATES = frozenset({QUEUED, RUNNING})
+
+#: Default grid labels for a submission that names none.
+DEFAULT_LABELS = ("baseline", "rampage")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """The sweep a job runs: grid labels plus workload knobs."""
+
+    labels: tuple[str, ...]
+    scale: float
+    slice_refs: int
+    issue_rates: tuple[int, ...]
+    sizes: tuple[int, ...]
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.labels:
+            raise ConfigurationError("a job needs at least one grid label")
+        unknown = [label for label in self.labels if label not in GRID_BUILDERS]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown grid labels {unknown}; known: {sorted(GRID_BUILDERS)}"
+            )
+
+    @classmethod
+    def from_request(
+        cls, payload: dict, base: ExperimentConfig
+    ) -> "JobSpec":
+        """Build a spec from an HTTP/CLI payload, defaulting to ``base``.
+
+        Raises :class:`ConfigurationError` on malformed values -- the
+        server maps that to a 400, never a crash.
+        """
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"job spec must be an object, got {type(payload).__name__}"
+            )
+        labels = payload.get("labels", DEFAULT_LABELS)
+        if isinstance(labels, str):
+            labels = [token for token in labels.split(",") if token]
+        try:
+            return cls(
+                labels=tuple(str(label) for label in labels),
+                scale=float(payload.get("scale", base.scale)),
+                slice_refs=int(payload.get("slice_refs", base.slice_refs)),
+                issue_rates=tuple(
+                    int(rate)
+                    for rate in payload.get("rates", base.issue_rates)
+                ),
+                sizes=tuple(
+                    int(size) for size in payload.get("sizes", base.sizes)
+                ),
+                seed=int(payload.get("seed", base.seed)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed job spec: {exc}") from exc
+
+    def experiment_config(self, base: ExperimentConfig) -> ExperimentConfig:
+        """The runner configuration for this job over ``base``'s cache."""
+        return replace(
+            base,
+            scale=self.scale,
+            slice_refs=self.slice_refs,
+            issue_rates=self.issue_rates,
+            sizes=self.sizes,
+            seed=self.seed,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "labels": list(self.labels),
+            "scale": self.scale,
+            "slice_refs": self.slice_refs,
+            "rates": list(self.issue_rates),
+            "sizes": list(self.sizes),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobSpec":
+        return cls(
+            labels=tuple(payload["labels"]),
+            scale=float(payload["scale"]),
+            slice_refs=int(payload["slice_refs"]),
+            issue_rates=tuple(int(rate) for rate in payload["rates"]),
+            sizes=tuple(int(size) for size in payload["sizes"]),
+            seed=int(payload["seed"]),
+        )
+
+
+@dataclass(frozen=True)
+class PlannedCell:
+    """One grid cell a job will need, with its run-record cache key."""
+
+    key: str
+    label: str
+    params: object  # MachineParams; opaque here
+    issue_rate_hz: int
+    size_bytes: int
+    kind: str
+
+    def as_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "label": self.label,
+            "issue_rate_hz": self.issue_rate_hz,
+            "size_bytes": self.size_bytes,
+            "kind": self.kind,
+        }
+
+
+def plan_cells(spec: JobSpec, base: ExperimentConfig) -> list[PlannedCell]:
+    """Enumerate the job's cells, de-duplicated by cache key.
+
+    Uses a throwaway :class:`Runner` purely for its key derivation and
+    grid enumeration -- no workload is synthesized and nothing touches
+    the cache.  Deterministic, so recovery can re-derive the same plan
+    from the journalled spec.
+    """
+    runner = Runner(spec.experiment_config(base), events=EventLog(None))
+    cells: list[PlannedCell] = []
+    seen: set[str] = set()
+    for label in spec.labels:
+        for params in runner.grid_params(label):
+            key = runner._cache_key(params)
+            if key in seen:
+                continue
+            seen.add(key)
+            cells.append(
+                PlannedCell(
+                    key=key,
+                    label=label,
+                    params=params,
+                    issue_rate_hz=params.issue_rate_hz,
+                    size_bytes=params.transfer_unit_bytes,
+                    kind=params.kind,
+                )
+            )
+    return cells
+
+
+def job_key(spec: JobSpec, cells: list[PlannedCell]) -> str:
+    """Idempotent job id, derived from the cells' cache keys.
+
+    Two submissions that would simulate the same cells under the same
+    labels are the same job.  Label order is irrelevant; the workload
+    knobs are already folded into each cell's cache key.
+    """
+    blob = ",".join(sorted(spec.labels)) + "|" + ",".join(
+        sorted(cell.key for cell in cells)
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+
+
+@dataclass
+class Job:
+    """One journalled sweep job and its progress counters."""
+
+    id: str
+    spec: JobSpec
+    cells: list[dict] = field(default_factory=list)
+    status: str = QUEUED
+    done: int = 0
+    modes: dict[str, int] = field(default_factory=dict)
+    done_keys: set[str] = field(default_factory=set)
+    error: str | None = None
+    submitted_ts: float = 0.0
+    updated_ts: float = 0.0
+
+    @property
+    def total(self) -> int:
+        return len(self.cells)
+
+    @property
+    def terminal(self) -> bool:
+        return self.status not in ACTIVE_STATES
+
+    def as_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "status": self.status,
+            "spec": self.spec.as_dict(),
+            "cells": list(self.cells),
+            "total": self.total,
+            "done": self.done,
+            "modes": dict(self.modes),
+            "error": self.error,
+            "submitted_ts": self.submitted_ts,
+            "updated_ts": self.updated_ts,
+        }
+
+
+class JobStore:
+    """Thread-safe job registry backed by the append-only journal."""
+
+    def __init__(self, state_dir: str | Path, *, clock=time.time) -> None:
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.state_dir / JOURNAL_NAME
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._jobs: dict[str, Job] = {}
+        self._order: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Journal plumbing
+    # ------------------------------------------------------------------
+
+    def _append(self, entry: dict) -> None:
+        """Append one journal line; callers hold the store lock.
+
+        The line is flushed before the method returns, so a submission
+        is durable before the server acknowledges it (the *commit
+        before ack* the crash-recovery contract needs).
+        """
+        entry = {"schema": JOURNAL_SCHEMA, "ts": round(self._clock(), 6), **entry}
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry) + "\n")
+            handle.flush()
+
+    def _apply(self, entry: dict) -> None:
+        """Replay one journal line into the in-memory registry."""
+        op = entry.get("op")
+        if op == "submit":
+            try:
+                spec = JobSpec.from_dict(entry["spec"])
+            except (KeyError, TypeError, ValueError, ConfigurationError):
+                return  # a stale or foreign line must not poison recovery
+            job = Job(
+                id=entry["id"],
+                spec=spec,
+                cells=list(entry.get("cells", [])),
+                submitted_ts=entry.get("ts", 0.0),
+                updated_ts=entry.get("ts", 0.0),
+            )
+            if job.id not in self._jobs:
+                self._order.append(job.id)
+            self._jobs[job.id] = job
+            return
+        job = self._jobs.get(entry.get("id", ""))
+        if job is None:
+            return
+        job.updated_ts = entry.get("ts", job.updated_ts)
+        if op == "start":
+            job.status = RUNNING
+        elif op == "cell":
+            key = entry.get("key")
+            if key and key not in job.done_keys:
+                job.done_keys.add(key)
+                job.done += 1
+                mode = entry.get("mode", "full")
+                job.modes[mode] = job.modes.get(mode, 0) + 1
+        elif op == "done":
+            job.status = COMPLETED
+        elif op == "fail":
+            job.status = FAILED
+            job.error = entry.get("error")
+
+    def recover(self) -> list[Job]:
+        """Replay the journal; returns jobs that need to resume.
+
+        Jobs left ``queued`` or ``running`` by a crash come back as
+        ``queued`` -- their completed cells are cache hits when the
+        scheduler re-executes them, so nothing is simulated twice.
+        """
+        with self._lock:
+            if self.path.exists():
+                for line in self.path.read_text("utf-8").splitlines():
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn trailing line from a crash
+                    if isinstance(entry, dict):
+                        self._apply(entry)
+            resumable = []
+            for job_id in self._order:
+                job = self._jobs[job_id]
+                if job.status in ACTIVE_STATES:
+                    job.status = QUEUED
+                    resumable.append(job)
+            return resumable
+
+    # ------------------------------------------------------------------
+    # Job lifecycle
+    # ------------------------------------------------------------------
+
+    def submit(self, spec: JobSpec, cells: list[PlannedCell]) -> tuple[Job, bool]:
+        """Register (or return) the job for ``spec``; journal if new.
+
+        Returns ``(job, created)``.  An existing queued, running or
+        completed job is returned untouched -- idempotent submission.
+        A previously *failed* job is re-journalled and re-queued.
+        """
+        key = job_key(spec, cells)
+        with self._lock:
+            existing = self._jobs.get(key)
+            if existing is not None and existing.status != FAILED:
+                return existing, False
+            now = self._clock()
+            job = Job(
+                id=key,
+                spec=spec,
+                cells=[cell.as_dict() for cell in cells],
+                submitted_ts=now,
+                updated_ts=now,
+            )
+            if key not in self._jobs:
+                self._order.append(key)
+            self._jobs[key] = job
+            self._append(
+                {"op": "submit", "id": key, "spec": spec.as_dict(),
+                 "cells": job.cells}
+            )
+            return job, True
+
+    def mark_running(self, job_id: str) -> None:
+        with self._lock:
+            job = self._jobs[job_id]
+            job.status = RUNNING
+            job.updated_ts = self._clock()
+            self._append({"op": "start", "id": job_id})
+
+    def record_cell(self, job_id: str, key: str, mode: str) -> Job:
+        """Journal one completed cell; de-duplicates by cell key."""
+        with self._lock:
+            job = self._jobs[job_id]
+            if key not in job.done_keys:
+                job.done_keys.add(key)
+                job.done += 1
+                job.modes[mode] = job.modes.get(mode, 0) + 1
+                job.updated_ts = self._clock()
+                self._append(
+                    {"op": "cell", "id": job_id, "key": key, "mode": mode}
+                )
+            return job
+
+    def mark_completed(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs[job_id]
+            job.status = COMPLETED
+            job.error = None
+            job.updated_ts = self._clock()
+            self._append({"op": "done", "id": job_id})
+            return job
+
+    def mark_failed(self, job_id: str, error: str) -> Job:
+        with self._lock:
+            job = self._jobs[job_id]
+            job.status = FAILED
+            job.error = error
+            job.updated_ts = self._clock()
+            self._append({"op": "fail", "id": job_id, "error": error})
+            return job
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        """Every known job, in submission order."""
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    def active_count(self) -> int:
+        """Jobs that still occupy the admission queue (queued/running)."""
+        with self._lock:
+            return sum(
+                1 for job in self._jobs.values() if job.status in ACTIVE_STATES
+            )

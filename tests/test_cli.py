@@ -327,3 +327,63 @@ def test_figures_writes_svgs(tmp_path, capsys, monkeypatch):
     assert code == 0
     assert (tmp_path / "figure4.svg").exists()
     assert len(list(tmp_path.glob("figure*.svg"))) == 7
+
+
+def test_cache_stats_reports_artifact_inventory(tmp_path, capsys, monkeypatch):
+    """``cache stats`` itemises trace and plane artifacts with byte sizes
+    and quarantine totals, not just run records."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(SWEEP) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "trace artifacts: 1 (" in out
+    assert "plane artifacts: 1 (" in out
+    assert out.count("quarantined: 0 (0 bytes)") == 2
+    # Sizes are real byte counts, not zero.
+    for line in out.splitlines():
+        if "artifacts:" in line:
+            size = int(line.split("(")[1].split(" bytes")[0].replace(",", ""))
+            assert size > 0
+
+
+def test_run_failure_exits_nonzero(capsys, monkeypatch):
+    def boom(runner):
+        raise RuntimeError("synthetic cell failure")
+
+    monkeypatch.setitem(EXPERIMENTS, "table1", boom)
+    assert main(["run", "table1"]) == 1
+    captured = capsys.readouterr()
+    assert "error: table1 failed: synthetic cell failure" in captured.err
+    assert "1 experiment(s) failed" in captured.err
+
+
+def test_run_keeps_going_after_a_failed_experiment(capsys, monkeypatch):
+    ran = []
+
+    def boom(runner):
+        raise RuntimeError("first cell dies")
+
+    original = EXPERIMENTS["table2"]
+
+    def survivor(runner):
+        ran.append("table2")
+        return original(runner)
+
+    monkeypatch.setitem(EXPERIMENTS, "table1", boom)
+    monkeypatch.setitem(EXPERIMENTS, "table2", survivor)
+    assert main(["run", "table1", "table2"]) == 1
+    assert ran == ["table2"]  # later experiments still run
+    captured = capsys.readouterr()
+    assert "table1 failed" in captured.err
+    assert "finished in" in captured.out
+
+
+def test_sweep_failure_exits_nonzero(capsys, monkeypatch):
+    def boom(self, label, params):
+        raise RuntimeError("simulator blew up")
+
+    monkeypatch.setattr(Runner, "record", boom)
+    assert main(["sweep", "--kind", "baseline", "--scale", "0.0001",
+                 "--slice-refs", "2000"]) == 1
+    assert "error: sweep failed: simulator blew up" in capsys.readouterr().err

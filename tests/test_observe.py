@@ -141,3 +141,59 @@ def test_read_manifest_tolerates_absence_and_garbage(tmp_path):
     assert read_manifest(tmp_path) is None
     manifest_path(tmp_path).write_text("[1, 2]", "utf-8")
     assert read_manifest(tmp_path) is None
+
+
+def test_emit_is_thread_safe(tmp_path):
+    """Concurrent emitters may interleave, but every journal line must be
+    intact JSON and every event must land exactly once."""
+    import threading
+
+    path = tmp_path / "events.jsonl"
+    log = EventLog(path, keep=10_000)
+
+    def worker(worker_id):
+        for i in range(100):
+            log.emit("tick", worker=worker_id, i=i)
+
+    threads = [threading.Thread(target=worker, args=(n,)) for n in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert len(log.events) == 800
+    lines = path.read_text("utf-8").splitlines()
+    assert len(lines) == 800
+    seen = set()
+    for line in lines:
+        event = json.loads(line)  # no torn/interleaved writes
+        seen.add((event["worker"], event["i"]))
+    assert len(seen) == 800
+
+
+def test_listeners_observe_every_emit(tmp_path):
+    log = EventLog(None)
+    heard = []
+    listener = log.subscribe(lambda event: heard.append(event["event"]))
+    log.emit("cell_started", key="abc")
+    log.emit("cell_completed", key="abc")
+    assert heard == ["cell_started", "cell_completed"]
+
+    log.unsubscribe(listener)
+    log.emit("sweep_started")
+    assert heard == ["cell_started", "cell_completed"]
+    # Unsubscribing twice (or an unknown listener) is harmless.
+    log.unsubscribe(listener)
+
+
+def test_listener_errors_do_not_block_the_log():
+    log = EventLog(None)
+
+    def bad_listener(event):
+        raise RuntimeError("listener bug")
+
+    log.subscribe(bad_listener)
+    with pytest.raises(RuntimeError):
+        log.emit("tick")
+    # The event itself was still recorded before the listener ran.
+    assert [event["event"] for event in log.events] == ["tick"]

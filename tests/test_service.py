@@ -1,0 +1,402 @@
+"""Tests for the sweep service's job store and scheduler.
+
+The contracts under test: job keys are idempotent (same cells, same
+job), the journal is an append-only source of truth that survives torn
+writes and process death, and the scheduler never simulates a cell that
+the cache or in-flight work already covers.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.service.jobs import (
+    COMPLETED,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    JobSpec,
+    JobStore,
+    job_key,
+    plan_cells,
+)
+from repro.service.scheduler import BackpressureError, SweepScheduler
+from repro.trace import materialize
+
+
+@pytest.fixture(autouse=True)
+def fresh_trace_registry():
+    materialize.clear_registry()
+    yield
+    materialize.clear_registry()
+
+
+def base_config(cache_dir):
+    return ExperimentConfig(
+        scale=0.0001,
+        slice_refs=4_000,
+        issue_rates=(10**9,),
+        sizes=(128, 1024),
+        seed=0,
+        cache_dir=cache_dir,
+    )
+
+
+def spec(labels=("baseline", "rampage"), **overrides):
+    fields = dict(
+        labels=tuple(labels),
+        scale=0.0001,
+        slice_refs=4_000,
+        issue_rates=(10**9,),
+        sizes=(128, 1024),
+        seed=0,
+    )
+    fields.update(overrides)
+    return JobSpec(**fields)
+
+
+def journal_ops(store):
+    return [
+        json.loads(line)["op"]
+        for line in store.path.read_text("utf-8").splitlines()
+        if line.strip()
+    ]
+
+
+# ----------------------------------------------------------------------
+# Specs, planning, keys
+# ----------------------------------------------------------------------
+
+
+def test_spec_rejects_unknown_labels_and_empty():
+    with pytest.raises(ConfigurationError, match="unknown grid labels"):
+        spec(labels=("nope",))
+    with pytest.raises(ConfigurationError, match="at least one"):
+        spec(labels=())
+
+
+def test_spec_from_request_defaults_and_round_trip(tmp_path):
+    base = base_config(tmp_path)
+    parsed = JobSpec.from_request({"labels": "baseline,rampage"}, base)
+    assert parsed.labels == ("baseline", "rampage")
+    assert parsed.scale == base.scale
+    assert parsed.issue_rates == base.issue_rates
+    assert JobSpec.from_dict(parsed.as_dict()) == parsed
+    with pytest.raises(ConfigurationError, match="malformed"):
+        JobSpec.from_request({"scale": "not-a-number"}, base)
+    with pytest.raises(ConfigurationError, match="must be an object"):
+        JobSpec.from_request([1, 2], base)
+
+
+def test_plan_cells_dedups_by_cache_key(tmp_path):
+    base = base_config(tmp_path)
+    cells = plan_cells(spec(), base)
+    assert len(cells) == 4  # 2 labels x 1 rate x 2 sizes
+    assert len({cell.key for cell in cells}) == 4
+    # A duplicated label contributes nothing new.
+    doubled = plan_cells(spec(labels=("baseline", "baseline")), base)
+    assert len(doubled) == 2
+
+
+def test_job_key_is_idempotent_and_label_order_insensitive(tmp_path):
+    base = base_config(tmp_path)
+    a = job_key(spec(), plan_cells(spec(), base))
+    b = job_key(
+        spec(labels=("rampage", "baseline")),
+        plan_cells(spec(labels=("rampage", "baseline")), base),
+    )
+    assert a == b
+    other = spec(seed=1)
+    assert job_key(other, plan_cells(other, base)) != a
+
+
+# ----------------------------------------------------------------------
+# JobStore + journal
+# ----------------------------------------------------------------------
+
+
+def test_submit_is_idempotent_and_journals_once(tmp_path):
+    base = base_config(tmp_path / "cache")
+    store = JobStore(tmp_path / "state")
+    cells = plan_cells(spec(), base)
+    job, created = store.submit(spec(), cells)
+    again, created_again = store.submit(spec(), cells)
+    assert created and not created_again
+    assert again is job
+    assert journal_ops(store) == ["submit"]
+    assert job.total == 4
+    assert job.status == QUEUED
+
+
+def test_failed_jobs_can_be_resubmitted(tmp_path):
+    base = base_config(tmp_path / "cache")
+    store = JobStore(tmp_path / "state")
+    cells = plan_cells(spec(), base)
+    job, _ = store.submit(spec(), cells)
+    store.mark_running(job.id)
+    store.mark_failed(job.id, "boom")
+    assert store.get(job.id).status == FAILED
+    retried, created = store.submit(spec(), cells)
+    assert created
+    assert retried.status == QUEUED
+    assert retried.error is None
+
+
+def test_journal_recovery_round_trips_progress(tmp_path):
+    base = base_config(tmp_path / "cache")
+    first = JobStore(tmp_path / "state")
+    cells = plan_cells(spec(), base)
+    job, _ = first.submit(spec(), cells)
+    first.mark_running(job.id)
+    first.record_cell(job.id, cells[0].key, "full")
+    first.record_cell(job.id, cells[0].key, "full")  # dedup by key
+
+    second = JobStore(tmp_path / "state")
+    resumed = second.recover()
+    assert [item.id for item in resumed] == [job.id]
+    recovered = second.get(job.id)
+    assert recovered.status == QUEUED  # running at crash -> re-queued
+    assert recovered.done == 1
+    assert recovered.modes == {"full": 1}
+    assert recovered.total == 4
+
+
+def test_completed_jobs_recover_completed(tmp_path):
+    base = base_config(tmp_path / "cache")
+    first = JobStore(tmp_path / "state")
+    cells = plan_cells(spec(), base)
+    job, _ = first.submit(spec(), cells)
+    first.mark_running(job.id)
+    for cell in cells:
+        first.record_cell(job.id, cell.key, "full")
+    first.mark_completed(job.id)
+
+    second = JobStore(tmp_path / "state")
+    assert second.recover() == []
+    recovered = second.get(job.id)
+    assert recovered.status == COMPLETED
+    assert recovered.done == recovered.total == 4
+
+
+def test_recovery_skips_torn_trailing_line_and_garbage(tmp_path):
+    base = base_config(tmp_path / "cache")
+    first = JobStore(tmp_path / "state")
+    job, _ = first.submit(spec(), plan_cells(spec(), base))
+    with open(first.path, "a", encoding="utf-8") as handle:
+        handle.write("not json at all\n")
+        handle.write('{"op": "cell", "id": "' + job.id)  # kill -9 mid-append
+
+    second = JobStore(tmp_path / "state")
+    resumed = second.recover()
+    assert [item.id for item in resumed] == [job.id]
+    assert second.get(job.id).done == 0
+
+
+# ----------------------------------------------------------------------
+# Scheduler: dedup, coalescing, recovery, backpressure
+# ----------------------------------------------------------------------
+
+
+def make_scheduler(tmp_path, **kwargs):
+    store = JobStore(tmp_path / "state")
+    scheduler = SweepScheduler(
+        store, base_config(tmp_path / "cache"), workers=1, **kwargs
+    )
+    return store, scheduler
+
+
+def test_scheduler_executes_job_and_counts_modes(tmp_path):
+    store, scheduler = make_scheduler(tmp_path)
+    scheduler.start()
+    try:
+        job, created = scheduler.submit(spec())
+        assert created
+        final = scheduler.wait(job.id, timeout=120)
+        assert final.status == COMPLETED
+        assert final.done == final.total == 4
+        # Two-phase coalescing: one recorded representative per plane
+        # group, no unplaned full simulations.
+        assert final.modes.get("full", 0) == 0
+        assert sum(final.modes.values()) == 4
+    finally:
+        scheduler.stop(timeout=30)
+
+
+def test_duplicate_submit_reuses_the_completed_job(tmp_path):
+    store, scheduler = make_scheduler(tmp_path)
+    scheduler.start()
+    try:
+        job, _ = scheduler.submit(spec())
+        scheduler.wait(job.id, timeout=120)
+        ops_before = journal_ops(store)
+        again, created = scheduler.submit(spec())
+        assert not created
+        assert again.id == job.id
+        assert again.status == COMPLETED
+        # Zero new journal activity => zero new simulations.
+        assert journal_ops(store) == ops_before
+    finally:
+        scheduler.stop(timeout=30)
+
+
+def test_overlapping_grid_is_served_entirely_from_cache(tmp_path):
+    """Scheduler dedup: a second job whose cells are a subset of an
+    earlier job's completes with zero ``full``/``recorded`` cells --
+    every cell is a cache hit."""
+    store, scheduler = make_scheduler(tmp_path)
+    scheduler.start()
+    try:
+        first, _ = scheduler.submit(spec())
+        scheduler.wait(first.id, timeout=120)
+        subset, created = scheduler.submit(spec(labels=("baseline",)))
+        assert created and subset.id != first.id
+        final = scheduler.wait(subset.id, timeout=120)
+        assert final.status == COMPLETED
+        assert final.modes == {"cached": 2}
+    finally:
+        scheduler.stop(timeout=30)
+
+
+def test_journal_crash_recovery_resumes_without_resimulating(tmp_path):
+    """Acceptance: kill between commit and ack.  The run records hit
+    the cache but the journal never saw the cell/done ops (its tail is
+    the torn ack).  On restart the job resumes and finishes entirely
+    from the cache -- zero ``mode=full`` cells."""
+    store, scheduler = make_scheduler(tmp_path)
+    scheduler.start()
+    job, _ = scheduler.submit(spec())
+    assert scheduler.wait(job.id, timeout=120).status == COMPLETED
+    scheduler.stop(timeout=30)
+
+    # Rewind the journal to just the submission -- everything after the
+    # commit of the records is lost, as after a SIGKILL mid-ack.
+    lines = store.path.read_text("utf-8").splitlines()
+    submit_line = next(
+        line for line in lines if json.loads(line)["op"] == "submit"
+    )
+    store.path.write_text(submit_line + "\n", "utf-8")
+
+    store2 = JobStore(tmp_path / "state")
+    scheduler2 = SweepScheduler(
+        store2, base_config(tmp_path / "cache"), workers=1
+    )
+    resumed = scheduler2.start()
+    try:
+        assert [item.id for item in resumed] == [job.id]
+        final = scheduler2.wait(job.id, timeout=120)
+        assert final.status == COMPLETED
+        assert final.done == final.total == 4
+        # Every cell came back from the record cache; nothing re-ran.
+        assert final.modes == {"cached": 4}
+    finally:
+        scheduler2.stop(timeout=30)
+
+
+def test_backpressure_bounds_the_admission_queue(tmp_path):
+    store, scheduler = make_scheduler(tmp_path, queue_limit=1)
+    gate = threading.Event()
+    release = threading.Event()
+
+    def blocked_execute(job):
+        store.mark_running(job.id)
+        gate.set()
+        release.wait(30)
+        store.mark_completed(job.id)
+
+    scheduler._execute = blocked_execute
+    scheduler.start()
+    try:
+        first, created = scheduler.submit(spec())
+        assert created
+        assert gate.wait(10)
+        assert store.get(first.id).status == RUNNING
+        # The queue is full; a *new* job bounces with retry advice...
+        with pytest.raises(BackpressureError) as excinfo:
+            scheduler.submit(spec(seed=1))
+        assert excinfo.value.retry_after > 0
+        # ...but resubmitting the in-flight job stays idempotent.
+        again, created_again = scheduler.submit(spec())
+        assert not created_again and again.id == first.id
+        release.set()
+        assert scheduler.wait(first.id, timeout=30).status == COMPLETED
+        second, created = scheduler.submit(spec(seed=1))
+        assert created
+        assert scheduler.wait(second.id, timeout=30).status == COMPLETED
+    finally:
+        release.set()
+        scheduler.stop(timeout=30)
+
+
+def test_failed_jobs_are_journalled_not_fatal(tmp_path):
+    store, scheduler = make_scheduler(tmp_path)
+
+    def exploding_execute(job):
+        store.mark_running(job.id)
+        raise RuntimeError("simulator exploded")
+
+    def execute_with_failure(job):
+        try:
+            exploding_execute(job)
+        except Exception as exc:
+            store.mark_failed(job.id, str(exc))
+
+    scheduler._execute = execute_with_failure
+    scheduler.start()
+    try:
+        job, _ = scheduler.submit(spec())
+        final = scheduler.wait(job.id, timeout=30)
+        assert final.status == FAILED
+        assert "exploded" in final.error
+        # The worker thread survived; a healthy job still runs.
+        del scheduler._execute  # restore the real implementation
+        retried, created = scheduler.submit(spec())
+        assert created and retried.id == job.id
+        assert scheduler.wait(job.id, timeout=120).status == COMPLETED
+    finally:
+        scheduler.stop(timeout=30)
+
+
+def test_scheduler_real_failure_path_marks_failed(tmp_path, monkeypatch):
+    store, scheduler = make_scheduler(tmp_path)
+    monkeypatch.setattr(
+        "repro.service.scheduler.ParallelRunner",
+        lambda *args, **kwargs: (_ for _ in ()).throw(RuntimeError("no pool")),
+    )
+    scheduler.start()
+    try:
+        job, _ = scheduler.submit(spec())
+        final = scheduler.wait(job.id, timeout=30)
+        assert final.status == FAILED
+        assert "no pool" in final.error
+    finally:
+        scheduler.stop(timeout=30)
+
+
+def test_dedup_preview_classifies_cells(tmp_path):
+    store, scheduler = make_scheduler(tmp_path)
+    cells = plan_cells(spec(), scheduler.config)
+    preview = scheduler.dedup_preview(cells)
+    assert preview == {"total": 4, "cached": 0, "inflight": 0, "fresh": 4}
+    scheduler.start()
+    try:
+        job, _ = scheduler.submit(spec())
+        scheduler.wait(job.id, timeout=120)
+    finally:
+        scheduler.stop(timeout=30)
+    preview = scheduler.dedup_preview(cells)
+    assert preview == {"total": 4, "cached": 4, "inflight": 0, "fresh": 0}
+
+
+def test_graceful_stop_leaves_queued_jobs_resumable(tmp_path):
+    store, scheduler = make_scheduler(tmp_path)
+    # Never start the worker: submissions stay queued, as they would if
+    # SIGTERM landed before the worker picked them up.
+    job, _ = scheduler.submit(spec())
+    scheduler.stop(timeout=5)
+    store2 = JobStore(tmp_path / "state")
+    resumed = store2.recover()
+    assert [item.id for item in resumed] == [job.id]
+    assert store2.get(job.id).status == QUEUED
