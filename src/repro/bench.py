@@ -22,7 +22,11 @@ Two instruments, both appended as one snapshot:
 
 The sweep shape matches what the paper's tables actually do: hold the
 geometry fixed and sweep the CPU/DRAM speed ratio (three issue rates,
-one size, two machines -- six cells in two plane groups).
+one size, three machines including switch-on-miss RAMpage -- nine
+cells in three plane groups).  Each snapshot also records the
+two-phase sweep's replay-mode mix (``full`` / ``recorded`` /
+``replayed`` cell counts), so a regression that silently drops cells
+back to full simulation shows up in the history.
 
 Environment fields (host, python, cpu) are **derived, never
 hand-edited**: earlier snapshots drifted ("container" vs "vm" for the
@@ -61,7 +65,12 @@ import numpy as np
 from repro.core.timer import ScopedTimer, refs_per_second
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import Runner
-from repro.systems.factory import baseline_machine, build_system, rampage_machine
+from repro.systems.factory import (
+    baseline_machine,
+    build_system,
+    rampage_machine,
+    virtual_l1_machine,
+)
 from repro.systems.simulator import simulate
 from repro.trace import filter as missplane
 from repro.trace import materialize
@@ -77,10 +86,11 @@ MACHINES = {
     "rampage": lambda: rampage_machine(10**9, 1024),
 }
 
-#: Multi-cell sweep shape: two grids over three issue rates at one size
-#: -- six cells in two plane groups, the speed-ratio sweep every paper
-#: table runs.
-SWEEP_LABELS = ("baseline", "rampage")
+#: Multi-cell sweep shape: three grids over three issue rates at one
+#: size -- nine cells in three plane groups, the speed-ratio sweep every
+#: paper table runs.  ``rampage_som`` exercises the preempting
+#: (decision-op tape) replay path.
+SWEEP_LABELS = ("baseline", "rampage", "rampage_som")
 SWEEP_SIZES = (512,)
 SWEEP_RATES = (2 * 10**8, 10**9, 4 * 10**9)
 SWEEP_SCALE = 0.0002
@@ -137,15 +147,16 @@ def sweep_config(cache_dir: Path) -> ExperimentConfig:
     )
 
 
-def run_sweep(materialized: bool, two_phase: bool = False) -> float:
-    """One cold-cache serial sweep; returns its wall-clock seconds.
+def run_sweep(materialized: bool, two_phase: bool = False) -> tuple[float, dict]:
+    """One cold-cache serial sweep; returns (wall seconds, mode mix).
 
     A fresh temp cache directory per call keeps the run-record cache,
     the trace plane and the miss planes cold (the in-process registries
     key on the cache directory), so every round pays the full cost of
     its path: synthesis per cell on the legacy path, one synthesis per
     sweep on the materialized one, one recording per plane group plus
-    near-free replays on the two-phase one.
+    near-free replays on the two-phase one.  The mode mix counts
+    ``cell_completed`` events by their ``mode`` field.
     """
     with tempfile.TemporaryDirectory(prefix="bench-sweep-") as tmp:
         runner = Runner(
@@ -156,22 +167,28 @@ def run_sweep(materialized: bool, two_phase: bool = False) -> float:
         with ScopedTimer() as timer:
             for label in SWEEP_LABELS:
                 runner.grid(label)
-        return timer.elapsed
+        modes = [e["mode"] for e in runner.events.of("cell_completed")]
+        mix = {mode: modes.count(mode) for mode in sorted(set(modes))}
+        return timer.elapsed, mix
 
 
 def measure_sweep(rounds: int) -> dict:
     cells = len(SWEEP_LABELS) * len(SWEEP_SIZES) * len(SWEEP_RATES)
-    legacy = min(run_sweep(materialized=False) for _ in range(rounds))
-    materialized = min(run_sweep(materialized=True) for _ in range(rounds))
-    two_phase = min(
-        run_sweep(materialized=True, two_phase=True) for _ in range(rounds)
-    )
+    legacy = min(run_sweep(materialized=False)[0] for _ in range(rounds))
+    materialized = min(run_sweep(materialized=True)[0] for _ in range(rounds))
+    two_phase = float("inf")
+    modes: dict = {}
+    for _ in range(rounds):
+        elapsed, mix = run_sweep(materialized=True, two_phase=True)
+        if elapsed < two_phase:
+            two_phase, modes = elapsed, mix
     speedup = legacy / materialized if materialized else float("inf")
     two_phase_speedup = materialized / two_phase if two_phase else float("inf")
     print(
         f"sweep ({cells} cells, cold cache): legacy {legacy:.3f}s, "
         f"materialized {materialized:.3f}s ({speedup:.2f}x), "
-        f"two-phase {two_phase:.3f}s ({two_phase_speedup:.2f}x more)"
+        f"two-phase {two_phase:.3f}s ({two_phase_speedup:.2f}x more), "
+        f"modes {modes}"
     )
     return {
         "cells": cells,
@@ -185,6 +202,7 @@ def measure_sweep(rounds: int) -> dict:
         "two_phase_wall_s": round(two_phase, 4),
         "speedup": round(speedup, 3),
         "two_phase_speedup": round(two_phase_speedup, 3),
+        "modes": modes,
     }
 
 
@@ -243,16 +261,22 @@ def measure_baseline_src(src: str, rounds: int) -> dict:
 def _check_two_phase(scale: float, seed: int) -> int:
     """Unfiltered vs event-filtered vs timing-decoupled, byte-for-byte.
 
-    Records one miss plane per eligible machine, then asserts that both
-    phase-2 paths reproduce the plain simulation's record exactly --
-    across issue rates, so the decoupled arithmetic is exercised away
-    from the recording cell's clock.
+    Records one miss plane per eligible machine -- including the
+    preempting switch-on-miss and virtual-L1 machines, whose planes
+    carry a decision-op tape -- then asserts that both phase-2 paths
+    reproduce the plain simulation's record exactly, across issue
+    rates, so the decoupled arithmetic is exercised away from the
+    recording cell's clock.
     """
     slice_refs = 4_000
     programs = materialize.get_workload(scale, seed).programs
     machines = {
         "baseline": lambda rate: baseline_machine(rate, 512),
         "rampage": lambda rate: rampage_machine(rate, 1024),
+        "rampage_som": lambda rate: rampage_machine(
+            rate, 1024, switch_on_miss=True
+        ),
+        "rampage_vl1": lambda rate: virtual_l1_machine(rate, 1024),
     }
     for label, build in machines.items():
         recorder = missplane.PlaneRecorder(
@@ -286,6 +310,45 @@ def _check_two_phase(scale: float, seed: int) -> int:
                     "replay diverges from the unfiltered run"
                 )
                 return 1
+    return 0
+
+
+def _check_mode_mix(scale: float, seed: int) -> int:
+    """No plane-eligible cell may fall back to a full simulation.
+
+    Drives the bench sweep's own labels (all of them plane-eligible,
+    including the preempting ``rampage_som`` grid) through a cold
+    two-phase sweep and fails if any cell completed as ``mode=full`` --
+    the regression this gate exists to catch is an eligibility or
+    recording bug silently degrading the sweep to phase-1 everywhere.
+    """
+    with tempfile.TemporaryDirectory(prefix="bench-check-") as tmp:
+        config = ExperimentConfig(
+            scale=scale,
+            slice_refs=4_000,
+            issue_rates=(2 * 10**8, 10**9),
+            sizes=(512,),
+            seed=seed,
+            cache_dir=Path(tmp),
+        )
+        runner = Runner(config)
+        for label in SWEEP_LABELS:
+            runner.grid(label)
+        completions = runner.events.of("cell_completed")
+        fallbacks = [e for e in completions if e["mode"] == "full"]
+        if fallbacks:
+            labels = sorted({str(e.get("label")) for e in fallbacks})
+            print(
+                f"CHECK FAILED: {len(fallbacks)} plane-eligible cells fell "
+                f"back to mode=full ({', '.join(labels)})"
+            )
+            return 1
+        modes = [e["mode"] for e in completions]
+        print(
+            "mode mix OK: "
+            f"{modes.count('recorded')} recorded, "
+            f"{modes.count('replayed')} replayed, 0 full"
+        )
     return 0
 
 
@@ -331,6 +394,8 @@ def check() -> int:
             print(f"CHECK FAILED: {label} records diverge between paths")
             return 1
     if _check_two_phase(scale, seed):
+        return 1
+    if _check_mode_mix(scale, seed):
         return 1
     print(
         f"check OK: {plane.total_refs} refs replay byte-identical; "

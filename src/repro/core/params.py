@@ -353,6 +353,7 @@ class MachineParams:
     victim_cache_blocks: int = 0  # conventional-only extension, 0 = off
     switch_on_miss: bool = False
     scheduled_switches: bool = False
+    virtual_l1: bool = False  # RAMpage-only: translate on L1 miss (section 2.3)
     vaddr_bits: int = 32
     seed: int = 0x52414D70  # "RAMp" in ASCII; seeds the replacement RNGs
 
@@ -362,6 +363,11 @@ class MachineParams:
         _require_pow2(self.dram_page_bytes, "dram_page_bytes")
         if self.victim_cache_blocks < 0:
             raise ConfigurationError("victim_cache_blocks must be >= 0")
+        if self.virtual_l1 and self.kind != "rampage":
+            raise ConfigurationError(
+                "virtual L1 caches are RAMpage-only (a conventional "
+                "hierarchy maintains inclusion by physical block)"
+            )
         if self.kind == "conventional":
             if self.switch_on_miss:
                 raise ConfigurationError(

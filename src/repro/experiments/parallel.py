@@ -34,7 +34,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
-from repro.analysis.runtime import RunGrid, RunRecord
+from repro.analysis.runtime import RunRecord
 from repro.core.errors import CacheIntegrityError
 from repro.core.params import MachineParams
 from repro.core.timer import ScopedTimer, refs_per_second
@@ -45,8 +45,8 @@ from repro.trace.filter import (
     PlaneRecorder,
     commit_plane,
     get_plane,
-    plane_eligible,
     plane_key,
+    select_replay_mode,
 )
 from repro.trace.materialize import attach_workload, get_workload
 from repro.trace.synthetic import build_workload
@@ -245,21 +245,28 @@ class ParallelRunner(Runner):
         Cells sharing a miss-plane key need only one full simulation:
         the group's first cell ships to the pool as its *representative*
         (recording the plane), and the rest are deferred -- the parent
-        replays them via :meth:`Runner.record`'s two-phase path once the
-        plane artifact exists.  Groups whose plane is already on disk
-        defer every cell.  Requires a cache directory (the plane must
-        cross the process boundary as an artifact); otherwise, and for
-        ineligible machines, cells ship to the pool unchanged.
+        re-prices whole groups via :meth:`Runner._replay_cells` once the
+        plane artifacts exist.  Groups whose plane is already on disk
+        defer every cell.  Mode selection is
+        :func:`~repro.trace.filter.select_replay_mode` with
+        ``require_cache=True``: the plane must cross the process
+        boundary as an on-disk artifact, so without a cache directory
+        (and for ineligible machines) cells ship to the pool unchanged.
         """
         cache_dir = self.config.cache_dir
-        if not self.two_phase or not self.materialize or cache_dir is None:
-            return pending, []
         pool_specs: list[CellSpec] = []
         deferred: list[CellSpec] = []
         represented: set[str] = set()
         config = self.config
         for spec in pending:
-            if not plane_eligible(spec.params):
+            mode = select_replay_mode(
+                spec.params,
+                two_phase=self.two_phase,
+                materialize=self.materialize,
+                cache_dir=cache_dir,
+                require_cache=True,
+            )
+            if mode != "plane":
                 pool_specs.append(spec)
                 continue
             pkey = plane_key(spec.params, config.scale, config.seed, config.slice_refs)
@@ -285,8 +292,9 @@ class ParallelRunner(Runner):
         the fallback, so neither the work nor the callback repeats and
         ``done`` counts stay monotonic over one shared ``total``.
         Two-phase planning keeps plane-sharing cells out of the pool
-        entirely; the serial tail replays them from the representatives'
-        recorded planes.
+        entirely; the serial tail re-prices them group-by-group from
+        the representatives' recorded planes, one vectorized
+        :func:`~repro.trace.filter.replay_group` call per geometry.
         """
         pending = self.pending_cells(labels)
         if not pending:
@@ -318,11 +326,17 @@ class ParallelRunner(Runner):
                         if self._lookup(self._cache_key(spec.params)) is None
                     ]
                     done = total - len(serial)
-            for spec in serial:
-                record = self.record(spec.label, spec.params)
+
+            def advance(record: RunRecord) -> None:
+                nonlocal done
                 done += 1
                 if self.progress is not None:
                     self.progress(done, total, record)
+
+            self._replay_cells(
+                [(spec.label, spec.params) for spec in serial],
+                on_record=advance,
+            )
         self.events.emit(
             "sweep_completed",
             labels=list(labels),
@@ -359,13 +373,3 @@ class ParallelRunner(Runner):
                 done += 1
                 if self.progress is not None:
                     self.progress(done, total, record)
-
-    # ------------------------------------------------------------------
-    # Runner interface
-    # ------------------------------------------------------------------
-
-    def grid(self, label: str) -> RunGrid:
-        """As :meth:`Runner.grid`, after prefetching pending cells."""
-        if label not in self._grids:
-            self.prefetch([label])
-        return super().grid(label)

@@ -31,6 +31,7 @@ label              machine
 ``baseline``       direct-mapped L2, no context-switch modelling
 ``rampage``        RAMpage, no context switches (Table 3 rows)
 ``rampage_som``    RAMpage with context switches on misses (Table 4)
+``rampage_vl1``    RAMpage with virtually-addressed L1s (section 2.3)
 ``twoway``         2-way L2 with scheduled switch traces (Table 5)
 =================  ====================================================
 """
@@ -59,6 +60,7 @@ from repro.systems.factory import (
     baseline_machine,
     rampage_machine,
     twoway_machine,
+    virtual_l1_machine,
 )
 from repro.systems.simulator import simulate
 from repro.trace.filter import (
@@ -67,9 +69,10 @@ from repro.trace.filter import (
     commit_plane,
     discard_plane,
     get_plane,
-    plane_eligible,
     plane_key,
     replay_decoupled,
+    replay_group,
+    select_replay_mode,
 )
 from repro.trace.materialize import WORKLOAD_VERSION, get_workload
 from repro.trace.synthetic import build_workload
@@ -86,6 +89,7 @@ GRID_BUILDERS: dict[str, Callable[[int, int], MachineParams]] = {
     "rampage_som": lambda rate, size: rampage_machine(
         rate, size, switch_on_miss=True
     ),
+    "rampage_vl1": lambda rate, size: virtual_l1_machine(rate, size),
     "twoway": lambda rate, size: twoway_machine(rate, size),
 }
 
@@ -329,7 +333,10 @@ class Runner:
         mode = "full"
         with ScopedTimer() as timer:
             result = None
-            if self.two_phase and self.materialize and plane_eligible(params):
+            cell_mode = select_replay_mode(
+                params, two_phase=self.two_phase, materialize=self.materialize
+            )
+            if cell_mode == "plane":
                 result, mode = self._run_two_phase(params)
             if result is None:
                 programs = self._workload()
@@ -382,6 +389,141 @@ class Runner:
         return result, "recorded"
 
     # ------------------------------------------------------------------
+    # Whole-group re-pricing
+    # ------------------------------------------------------------------
+
+    def _pending_grid_cells(
+        self, labels: list[str] | tuple[str, ...]
+    ) -> list[tuple[str, MachineParams]]:
+        """Grid cells of ``labels`` absent from both cache layers.
+
+        De-duplicated by cache key, so a machine shared between two
+        labels' grids is only computed once.
+        """
+        pending: list[tuple[str, MachineParams]] = []
+        seen: set[str] = set()
+        for label in labels:
+            for params in self.grid_params(label):
+                key = self._cache_key(params)
+                if key in seen or self._lookup(key) is not None:
+                    continue
+                seen.add(key)
+                pending.append((label, params))
+        return pending
+
+    def _replay_cells(
+        self,
+        cells: list[tuple[str, MachineParams]],
+        on_record: Callable[[RunRecord], None] | None = None,
+    ) -> None:
+        """Compute ``cells``, re-pricing whole plane groups in one pass.
+
+        Cells whose mode is ``"plane"`` are grouped by miss-plane key;
+        each group's first cell runs through :meth:`record` (recording
+        the plane when it is not already committed) and every remaining
+        sibling is priced by one vectorized :func:`replay_group` call
+        instead of a per-cell replay.  Cells whose mode is ``"full"``
+        run through :meth:`record` unchanged.  ``on_record`` fires once
+        per finished cell, in completion order.
+        """
+        groups: dict[str | None, list[tuple[str, MachineParams, str]]] = {}
+        for label, params in cells:
+            pkey: str | None = None
+            mode = select_replay_mode(
+                params, two_phase=self.two_phase, materialize=self.materialize
+            )
+            if mode == "plane":
+                config = self.config
+                pkey = plane_key(
+                    params, config.scale, config.seed, config.slice_refs
+                )
+            groups.setdefault(pkey, []).append(
+                (label, params, self._cache_key(params))
+            )
+        for pkey, members in groups.items():
+            if pkey is None:
+                for label, params, _key in members:
+                    record = self.record(label, params)
+                    if on_record is not None:
+                        on_record(record)
+                continue
+            self._replay_plane_group(pkey, members, on_record)
+
+    def _replay_plane_group(
+        self,
+        pkey: str,
+        members: list[tuple[str, MachineParams, str]],
+        on_record: Callable[[RunRecord], None] | None,
+    ) -> None:
+        """Price one plane group: record at most one cell, replay the rest."""
+        cache_dir = self.config.cache_dir
+        plane = get_plane(pkey, cache_dir=cache_dir, events=self.events)
+        remaining = members
+        if plane is None:
+            label, params, _key = members[0]
+            record = self.record(label, params)
+            if on_record is not None:
+                on_record(record)
+            remaining = members[1:]
+            plane = get_plane(pkey, cache_dir=cache_dir, events=self.events)
+        if not remaining:
+            return
+        if plane is not None:
+            try:
+                with ScopedTimer() as timer:
+                    results = replay_group(
+                        [params for _label, params, _key in remaining], plane
+                    )
+            except PlaneReplayError as error:
+                discard_plane(
+                    plane,
+                    cache_dir=cache_dir,
+                    events=self.events,
+                    reason=str(error),
+                )
+            else:
+                wall = timer.elapsed / len(remaining)
+                for (label, params, key), result in zip(remaining, results):
+                    self.cache_stats.misses += 1
+                    record = RunRecord.from_result(
+                        label, params.transfer_unit_bytes, result
+                    )
+                    self._store(key, record)
+                    self.events.emit(
+                        "cell_completed",
+                        key=key,
+                        label=label,
+                        mode="replayed",
+                        wall_s=round(wall, 6),
+                        refs_per_s=round(
+                            refs_per_second(record.workload_refs, wall), 1
+                        ),
+                    )
+                    if on_record is not None:
+                        on_record(record)
+                return
+        # Plane unavailable (recording path skipped it) or invalid
+        # (quarantined above): fall back to per-cell computation.
+        for label, params, _key in remaining:
+            record = self.record(label, params)
+            if on_record is not None:
+                on_record(record)
+
+    def prefetch(self, labels: list[str] | tuple[str, ...]) -> int:
+        """Fill the cache for ``labels``; returns how many cells ran.
+
+        The serial engine's bulk path: pending cells are computed with
+        whole-group vectorized re-pricing, so a sweep over *n* sibling
+        timings of one geometry costs one recorded simulation plus one
+        matrix op.  :class:`~repro.experiments.parallel.ParallelRunner`
+        overrides this with a process pool in front of the same tail.
+        """
+        pending = self._pending_grid_cells(list(labels))
+        if pending:
+            self._replay_cells(pending)
+        return len(pending)
+
+    # ------------------------------------------------------------------
     # Manifest
     # ------------------------------------------------------------------
 
@@ -427,6 +569,7 @@ class Runner:
         """Return (building on demand) the sweep grid for ``label``."""
         if label in self._grids:
             return self._grids[label]
+        self.prefetch([label])
         grid = RunGrid(label)
         for params in self.grid_params(label):
             grid.add(self.record(label, params))

@@ -37,6 +37,7 @@ from repro.trace.filter import (
     FLAG_FIRST_WRITE,
     FLAG_IFETCH,
     FLAG_L1_MISS,
+    FLAG_PREEMPT,
     FLAG_TRANSLATE,
     PlaneReplayError,
 )
@@ -92,6 +93,11 @@ class MemorySystem:
 
     kind = "abstract"
 
+    #: Subclasses whose front-end is a scalar loop with its own
+    #: plane-capable recording/filtered variants (virtual-L1) set this
+    #: to relax the generic-L1 requirement of ``_check_plane_capable``.
+    _plane_scalar_front_end = False
+
     def __init__(self, params: MachineParams) -> None:
         self.params = params
         self.clock = SimClock(params.issue_rate_hz)
@@ -145,6 +151,10 @@ class MemorySystem:
         # Timing-tape tap: a recording run appends each synchronous DRAM
         # transfer's byte count here (see trace/filter.py).
         self._tape_sink: list[int] | None = None
+        # Decision-op tap: set to the recorder only when recording a
+        # preempting (switch-on-miss) machine; every DRAM interaction
+        # then also lands on the recorder's decision-op tape.
+        self._dop_sink: "PlaneRecorder | None" = None
 
     # ------------------------------------------------------------------
     # Subclass protocol
@@ -368,22 +378,22 @@ class MemorySystem:
     # ------------------------------------------------------------------
 
     def _check_plane_capable(self) -> None:
-        """Both plane modes need the run-collapsed front-end semantics.
+        """Both plane modes need a plane-describable front-end.
 
-        Switch-on-miss machines preempt mid-chunk (the event sequence
-        depends on transfer timing), associative L1s take the scalar
-        path the plane does not describe, and virtual-L1 subclasses
-        retag references outside the generic physical block space.
+        Associative L1s take the scalar path the plane does not
+        describe, and subclasses that retag references outside the
+        generic physical block space need their own plane-capable
+        loops (``_plane_scalar_front_end``).  Switch-on-miss machines
+        are capable: preemptions are recorded as chunk-terminating
+        events and their DRAM timing on the decision-op tape.
         """
         if (
-            self.params.switch_on_miss
-            or self.l1i.ways != 1
+            self.l1i.ways != 1
             or self.l1d.ways != 1
-            or not self._generic_l1_access
+            or not (self._generic_l1_access or self._plane_scalar_front_end)
         ):
             raise ConfigurationError(
-                f"{self.kind} machine with switch_on_miss="
-                f"{self.params.switch_on_miss}, L1 ways "
+                f"{self.kind} machine with L1 ways "
                 f"({self.l1i.ways}, {self.l1d.ways}) cannot record or "
                 "replay a miss plane"
             )
@@ -393,6 +403,7 @@ class MemorySystem:
         self._check_plane_capable()
         self._plane_sink = recorder
         self._tape_sink = recorder.tape
+        self._dop_sink = recorder if self.params.switch_on_miss else None
         self._plane_replay = None
 
     def attach_plane_replay(self, plane: "MissPlane") -> None:
@@ -401,6 +412,7 @@ class MemorySystem:
         self._plane_replay = plane
         self._plane_sink = None
         self._tape_sink = None
+        self._dop_sink = None
         self._plane_cursor = 0
 
     def _run_chunk_recording(self, chunk: TraceChunk, stable_translation: bool) -> int:
@@ -444,6 +456,7 @@ class MemorySystem:
         last_frame = 0
         g_if = g_rd = g_wr = 0
         g_dirty: list[int] = []
+        consumed = runs.n
         for start, length, gvpn, offset, bip, is_ifetch, w, first_kind in zip(
             runs.starts,
             runs.lengths,
@@ -469,10 +482,27 @@ class MemorySystem:
                     frame = self._translate(gvpn)
                     if self._preempted:
                         self._preempted = False
-                        raise SimulationError(
-                            "preemption during miss-plane recording; "
-                            "recording requires a non-preempting machine"
+                        if self._dop_sink is None:
+                            raise SimulationError(
+                                "preemption during miss-plane recording of "
+                                "a machine without a decision-op tape"
+                            )
+                        # The faulting run never executed: record it as
+                        # the chunk-terminating preempt event (replay
+                        # re-runs the translate live and expects the
+                        # same preemption) and hand the tail back.
+                        if is_ifetch:
+                            flags |= FLAG_IFETCH
+                        elif first_kind == WRITE:
+                            flags |= FLAG_FIRST_WRITE
+                        recorder.event(
+                            gvpn, frame, length, offset, bip, int(w),
+                            flags | FLAG_PREEMPT, g_if, g_rd, g_wr, g_dirty,
                         )
+                        g_if = g_rd = g_wr = 0
+                        g_dirty = []
+                        consumed = start
+                        break
                     if stable_translation:
                         last_vpn = gvpn
                         last_frame = frame
@@ -580,8 +610,8 @@ class MemorySystem:
         stats.writes += writes
         stats.l1i_hits += i_hits
         stats.l1d_hits += d_hits
-        recorder.end_chunk(chunk.pid, runs.n, g_if, g_rd, g_wr, g_dirty)
-        return runs.n
+        recorder.end_chunk(chunk.pid, runs.n, consumed, g_if, g_rd, g_wr, g_dirty)
+        return consumed
 
     def _run_chunk_filtered(self, chunk: TraceChunk, stable_translation: bool) -> int:
         """Replay a chunk from the attached miss plane.
@@ -642,6 +672,7 @@ class MemorySystem:
         gap_reads = view.gap_reads
         gap_writes = view.gap_writes
         gap_dirty = view.gap_dirty
+        preempted = False
         for index in range(view.n_events + 1):
             # Fold the gap preceding event ``index`` (the last gap,
             # after the final event, closes the chunk).  Gap references
@@ -672,8 +703,19 @@ class MemorySystem:
                 frame = self._translate(gvpn)
                 if self._preempted:
                     self._preempted = False
+                    if not flags & FLAG_PREEMPT:
+                        raise PlaneReplayError(
+                            "live preemption where the plane recorded none"
+                        )
+                    if index != view.n_events - 1:
+                        raise PlaneReplayError(
+                            "preempt event is not the plane chunk's last"
+                        )
+                    preempted = True
+                    break
+                if flags & FLAG_PREEMPT:
                     raise PlaneReplayError(
-                        "preemption during filtered replay"
+                        "no live preemption where the plane recorded one"
                     )
                 if stable_translation:
                     tlb_hits += length - 1
@@ -681,6 +723,10 @@ class MemorySystem:
                     frame = tlb_get(gvpn)
                     tlb_hits += length - 1
             else:
+                if flags & FLAG_PREEMPT:
+                    raise PlaneReplayError(
+                        "preempt event without a translate flag"
+                    )
                 frame = ev_frame[index]
                 tlb_hits += length
             block = (frame << frame_shift) | ev_bip[index]
@@ -759,7 +805,12 @@ class MemorySystem:
         stats.writes += writes
         stats.l1i_hits += i_hits
         stats.l1d_hits += d_hits
-        return view.n_refs
+        if not preempted and view.consumed != view.n_refs:
+            raise PlaneReplayError(
+                f"plane chunk consumed {view.consumed} of {view.n_refs} "
+                "references but recorded no preemption"
+            )
+        return view.consumed
 
     # ------------------------------------------------------------------
     # L1 handling (shared by workload and handler references)
@@ -1044,6 +1095,8 @@ class MemorySystem:
         tape = self._tape_sink
         if tape is not None:
             tape.append(nbytes)
+            if self._dop_sink is not None:
+                self._dop_sink.sync_op(nbytes, self.clock.cycles)
         wait, cost = self.channel.synchronous(self.clock.now_ps, nbytes)
         self.lt.dram += self.clock.tick_ps(wait + cost)
         self.stats.dram_accesses += 1

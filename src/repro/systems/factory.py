@@ -93,6 +93,30 @@ def rampage_machine(
     )
 
 
+def virtual_l1_machine(
+    issue_rate_hz: int = 200_000_000,
+    page_bytes: int = 1 * KIB,
+    switch_on_miss: bool = False,
+    scheduled_switches: bool | None = None,
+    standby_pages: int = 0,
+    **overrides,
+) -> MachineParams:
+    """RAMpage with virtually-addressed L1s (the section 2.3 open point).
+
+    Same defaults as :func:`rampage_machine`; the machine translates
+    only on L1 misses (:class:`~repro.systems.virtual_l1.VirtualL1RampageSystem`).
+    """
+    return rampage_machine(
+        issue_rate_hz=issue_rate_hz,
+        page_bytes=page_bytes,
+        switch_on_miss=switch_on_miss,
+        scheduled_switches=scheduled_switches,
+        standby_pages=standby_pages,
+        virtual_l1=True,
+        **overrides,
+    )
+
+
 def aggressive_l1() -> L1Params:
     """The section 6.3 work-in-progress L1: 64 KB 8-way I and D."""
     return L1Params(
@@ -116,5 +140,9 @@ def build_system(params: MachineParams) -> MemorySystem:
     if params.kind == "conventional":
         return ConventionalSystem(params)
     if params.kind == "rampage":
+        if params.virtual_l1:
+            from repro.systems.virtual_l1 import VirtualL1RampageSystem
+
+            return VirtualL1RampageSystem(params)
         return RampageSystem(params)
     raise ConfigurationError(f"unknown machine kind {params.kind!r}")

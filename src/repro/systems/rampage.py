@@ -45,6 +45,12 @@ class RampageSystem(MemorySystem):
         self.switch_on_miss = params.switch_on_miss
         #: In-flight background page transfers: frame -> ready time (ps).
         self._pending: dict[int, int] = {}
+        #: Recording-only shadow of ``_pending``: frame -> fill ordinal
+        #: on the decision-op tape.  Never time-pruned -- a fill that
+        #: completed under the recording timing could still stall a
+        #: sibling cell, so the WAIT op must be recorded at the frame's
+        #: first structural touch regardless.
+        self._plane_shadow: dict[int, int] = {}
         self._current_pid = 0
 
     def _os_layout(self) -> OsLayout:
@@ -103,6 +109,10 @@ class RampageSystem(MemorySystem):
             dirty_l1 = self._flush_l1_range(
                 frame << self._page_bits, self._page_bytes
             )
+        if self._plane_shadow:
+            ordinal = self._plane_shadow.pop(frame, None)
+            if ordinal is not None:
+                self._dop_sink.wait_op(ordinal, self.clock.cycles)
         if frame in self._pending:
             # The frame's previous fill is still in flight; the OS must
             # wait before overwriting it.
@@ -116,10 +126,19 @@ class RampageSystem(MemorySystem):
         self._dram_sync(DRAM_TABLE_ENTRY_BYTES)
         if self.switch_on_miss:
             now = self.clock.now_ps
+            sink = self._dop_sink
             if needs_writeback:
                 stats.page_writebacks += 1
                 self.channel.begin_background(now, self._page_bytes)
+                if sink is not None:
+                    sink.background_op(
+                        self._page_bytes, self.clock.cycles, fill=False
+                    )
             ready = self.channel.begin_background(now, self._page_bytes)
+            if sink is not None:
+                self._plane_shadow[frame] = sink.background_op(
+                    self._page_bytes, self.clock.cycles, fill=True
+                )
             stats.dram_overlap_ps += ready - now
             self._prune_pending(now)
             self._pending[frame] = ready
@@ -148,6 +167,10 @@ class RampageSystem(MemorySystem):
         # A valid translation guarantees residency, so there is nothing
         # to look up -- the 12-cycle transfer is charged by the caller.
         # The only exception is a page still arriving from DRAM.
+        if self._plane_shadow:
+            ordinal = self._plane_shadow.pop(paddr >> self._page_bits, None)
+            if ordinal is not None:
+                self._dop_sink.wait_op(ordinal, self.clock.cycles)
         if self._pending:
             frame = paddr >> self._page_bits
             ready = self._pending.get(frame)

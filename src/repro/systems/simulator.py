@@ -100,7 +100,9 @@ def simulate(
     workload = InterleavedWorkload(programs, slice_refs=slice_refs)
     result = Simulator(system, workload).run(max_refs=max_refs)
     if record_plane is not None:
-        record_plane.capture(system.clock.cycle_ps, result.stats.as_dict())
+        record_plane.capture(
+            system.clock.cycle_ps, result.stats.as_dict(), system.params.dram
+        )
     if replay_plane is not None and system._plane_cursor != replay_plane.num_chunks:
         from repro.trace.filter import PlaneReplayError
 

@@ -48,39 +48,74 @@ state trajectory:
   unfiltered loop's batching, and the batch is flushed before every
   event, the only point where anything reads the clock.
 
-Machines whose front-end couples to back-end *timing* are ineligible
-(:func:`plane_eligible`): switch-on-miss RAMpage preempts mid-chunk on
-faults (the event sequence depends on transfer timing), and virtual-L1
-variants retag handler references (``_generic_l1_access`` is False).
+Preempting machines (the decision-op tape)
+------------------------------------------
+
+Switch-on-miss RAMpage (and its virtual-L1 variant) preempt mid-chunk
+on hard faults and queue page transfers in the background, so their
+DRAM stall/overlap totals are *not* a pure function of byte counts.
+Their event sequence is still timing-invariant, though: preemption
+fires on every hard fault regardless of timing, and the only code that
+reads the clock either charges a stall (``synchronous``,
+``advance_to``) or prunes already-completed background entries
+(``_prune_pending`` -- behaviour-neutral, because a pruned entry's
+stall would have been zero).  Everything that *steers* control flow --
+TLB misses, faults, victim choice, preemption points, chunk rotation,
+RNG draws -- is structural, and so are the **CPU cycle counts** at
+every DRAM interaction (all non-DRAM time is ``tick_cycles``; DRAM
+time accumulates separately in the clock's ``extra`` picoseconds).
+
+Recording therefore captures a **decision-op tape** (``dops.npy``): one
+row per DRAM interaction -- blocking transfer (``SYNC``), background
+writeback/fill (``BG_WB``/``BG_FILL``), or a potential wait on an
+in-flight fill (``WAIT``) -- stamped with the absolute CPU cycle count
+at which it happened.  ``WAIT`` rows are emitted at every *structural*
+first touch of a filled frame (a shadow pending map that is never
+time-pruned), because whether the touch actually stalls depends on the
+sibling's timing.  :func:`replay_decoupled` then re-derives
+``dram_stall_ps``/``dram_overlap_ps``/``level_times.dram`` for any
+sibling cell with an exact integer max-plus recursion over the tape
+(see ``_replay_timeline``); chunks additionally record how many
+references they ``consumed`` before preempting so event-level replay
+can hand the tail back to the workload.
 
 Timing-decoupled replay (phase 2's fast path)
 ---------------------------------------------
 
-For eligible machines the clock never lags the Rambus channel: every
-DRAM transfer is synchronous, and ``_dram_sync`` advances the clock
-past the transfer immediately, so the channel's ``free_at`` always
-equals ``now`` at the next request and the queueing wait is zero at
-*any* issue rate.  The recorded run's DRAM time is therefore a pure
+For non-preempting machines the clock never lags the Rambus channel:
+every DRAM transfer is synchronous, and ``_dram_sync`` advances the
+clock past the transfer immediately, so the channel's ``free_at``
+always equals ``now`` at the next request and the queueing wait is zero
+at *any* issue rate.  The recorded run's DRAM time is therefore a pure
 function of the per-access byte counts -- the **timing tape** -- and
 every other level-time counter is an exact multiple of the cycle time
 (``SimClock.tick_cycles`` is linear and ``cycle_time_ps`` guarantees an
 integral cycle).  :func:`replay_decoupled` reproduces a sibling cell's
 byte-identical run record by arithmetic alone: rescale the recorded
 per-level cycle counts to the cell's clock and re-price the tape under
-the cell's Rambus timing, without touching the workload.  The
-event-level replay path (``_run_chunk_filtered``) remains the
-state-exact validation harness for that arithmetic.
+the cell's Rambus timing, without touching the workload.  Preempting
+machines replace the tape pricing with the decision-op recursion
+above; either way the event-level replay path
+(``_run_chunk_filtered``) remains the state-exact validation harness
+for the arithmetic, and :func:`replay_group` prices a whole plane
+group's sibling cells in one vectorized pass.
 
 Artifact layout (one directory per key under ``<cache_dir>/planes/``)::
 
     planes/<key>/
-    ├── chunks.npy      # int64 (C, 3): pid, n_refs, n_events per chunk
+    ├── chunks.npy      # int64 (C, 4): pid, n_refs, n_events, consumed
     ├── events.npy      # int64 (E, 6): gvpn, frame, length, offset, bip, writes
-    ├── flags.npy       # uint8 (E,): translate/ifetch/l1-miss/first-write bits
+    ├── flags.npy       # uint8 (E,): translate/ifetch/l1-miss/first-write/preempt
     ├── gaps.npy        # int64 (E+C, 4): ifetches, reads, writes, dirty count
     ├── dirty.npy       # int64 (D,): 0->1 dirty-bit transitions, gap-ordered
     ├── tape.npy        # int64 (A,): bytes moved per synchronous DRAM access
+    ├── dops.npy        # int64 (N, 3): kind, arg, cycles decision ops (may be empty)
     └── manifest.json   # schema, versions, checksums, timing payload
+
+``rampage-plane/1`` artifacts (3-column chunk table, no ``dops.npy``)
+remain readable: v1 planes could only record non-preempting machines,
+for which an empty decision tape and ``consumed == n_refs`` are exactly
+equivalent, so the loader upgrades them in memory.
 
 Commits, validation and quarantine follow the trace plane's envelope
 discipline exactly (:mod:`repro.trace.materialize`, ``docs/cache.md``):
@@ -106,11 +141,14 @@ from repro.core.clock import cycle_time_ps
 from repro.core.errors import CacheIntegrityError, SimulationError
 from repro.core.params import MachineParams, RambusParams
 from repro.core.stats import SimStats
-from repro.mem.dram import rambus_transfer_ps
+from repro.mem.dram import rambus_pipelined_ps, rambus_transfer_ps
 from repro.trace.materialize import WORKLOAD_VERSION, _file_checksum
 
 #: Artifact manifest schema tag, bumped when the plane layout changes.
-PLANE_SCHEMA = "rampage-plane/1"
+PLANE_SCHEMA = "rampage-plane/2"
+
+#: The previous schema, still readable (see the module docstring).
+PLANE_SCHEMA_V1 = "rampage-plane/1"
 
 #: Subdirectory of the cache directory holding miss-plane artifacts.
 PLANE_DIRNAME = "planes"
@@ -125,12 +163,32 @@ FLAG_TRANSLATE = 1  # the run's first reference missed the TLB
 FLAG_IFETCH = 2  # instruction-side run (else data-side)
 FLAG_L1_MISS = 4  # the run's first reference missed its L1
 FLAG_FIRST_WRITE = 8  # data-side run whose first reference is a write
+FLAG_PREEMPT = 16  # the translate faulted and preempted (chunk's last event)
+
+#: Decision-op kinds (``dops.npy`` column 0).  ``arg`` (column 1) is a
+#: byte count for the transfer ops and a fill ordinal for ``WAIT``;
+#: column 2 is the absolute CPU cycle count at the op.
+DOP_SYNC = 0  # blocking transfer (mirrors one tape entry, in order)
+DOP_BG_WB = 1  # background dirty-victim writeback
+DOP_BG_FILL = 2  # background page fill; assigned the next fill ordinal
+DOP_WAIT = 3  # potential stall on fill ``arg`` (first structural touch)
 
 #: Canonical issue rate substituted before hashing structural identity.
 _CANONICAL_RATE_HZ = 10**9
 
 _ARRAY_SPECS = (
     # name, dtype, columns (0 = one-dimensional)
+    ("chunks", np.int64, 4),
+    ("events", np.int64, 6),
+    ("flags", np.uint8, 0),
+    ("gaps", np.int64, 4),
+    ("dirty", np.int64, 0),
+    ("tape", np.int64, 0),
+    ("dops", np.int64, 3),
+)
+
+#: v1 array layout, still accepted by :func:`load_plane`.
+_ARRAY_SPECS_V1 = (
     ("chunks", np.int64, 3),
     ("events", np.int64, 6),
     ("flags", np.uint8, 0),
@@ -189,18 +247,44 @@ class PlaneReplayError(CacheIntegrityError):
 def plane_eligible(params: MachineParams) -> bool:
     """True when cells of ``params``'s geometry may share a miss plane.
 
-    Requires a non-preempting machine (switch-on-miss couples the event
-    sequence to transfer timing) with direct-mapped L1s (the only shape
-    the run-collapsed hot loop -- and therefore the recorder -- takes).
-    Virtual-L1 subclasses are excluded at attach time via
-    ``_generic_l1_access``; no :class:`MachineParams` builds one.
+    Requires direct-mapped L1s (the only shape the run-collapsed hot
+    loop -- and therefore the recorder -- takes).  Preempting machines
+    (``switch_on_miss``) and virtual-L1 RAMpage are eligible since
+    ``rampage-plane/2``: their chunk rows carry a ``consumed`` count and
+    their DRAM interactions are captured on the decision-op tape.
     """
     return (
         params.kind in ("conventional", "rampage")
-        and not params.switch_on_miss
         and params.l1.icache.ways == 1
         and params.l1.dcache.ways == 1
     )
+
+
+def select_replay_mode(
+    params: MachineParams,
+    *,
+    two_phase: bool = True,
+    materialize: bool = True,
+    cache_dir: object | None = None,
+    require_cache: bool = False,
+) -> str:
+    """Decide how one sweep cell should run: ``"plane"`` or ``"full"``.
+
+    The single mode-selection policy shared by the serial
+    :class:`~repro.experiments.runner.Runner`, the
+    :class:`~repro.experiments.parallel.ParallelRunner` planner and the
+    service scheduler, so eligibility cannot drift between paths.
+    ``"plane"`` means the two-phase engine applies (replay the cell from
+    its group's miss plane, recording one first when absent); ``"full"``
+    means an ordinary unfiltered simulation.  ``require_cache`` is set
+    by planners that must ship the plane across a process boundary as an
+    on-disk artifact: without a ``cache_dir`` those cells run full.
+    """
+    if not two_phase or not materialize or not plane_eligible(params):
+        return "full"
+    if require_cache and cache_dir is None:
+        return "full"
+    return "plane"
 
 
 def structural_params(params: MachineParams) -> MachineParams:
@@ -256,6 +340,7 @@ class PlaneChunk:
         "pid",
         "n_refs",
         "n_events",
+        "consumed",
         "ev_gvpn",
         "ev_frame",
         "ev_length",
@@ -269,10 +354,13 @@ class PlaneChunk:
         "gap_dirty",
     )
 
-    def __init__(self, pid, n_refs, n_events, events, flags, gaps, gap_dirty):
+    def __init__(
+        self, pid, n_refs, n_events, consumed, events, flags, gaps, gap_dirty
+    ):
         self.pid = pid
         self.n_refs = n_refs
         self.n_events = n_events
+        self.consumed = consumed
         self.ev_gvpn = events[:, 0].tolist()
         self.ev_frame = events[:, 1].tolist()
         self.ev_length = events[:, 2].tolist()
@@ -289,14 +377,17 @@ class PlaneChunk:
 class MissPlane:
     """One recorded miss plane: compact arrays plus replay cursors.
 
-    ``chunks`` rows are ``(pid, n_refs, n_events)`` in workload chunk
-    order; ``events``/``flags`` rows are per-event run descriptors;
-    ``gaps`` has one row per event *plus one final row per chunk* (the
-    gap after a chunk's last event); ``dirty`` is the flat
+    ``chunks`` rows are ``(pid, n_refs, n_events, consumed)`` in
+    workload chunk order (``consumed < n_refs`` when the chunk ended in
+    a preemption); ``events``/``flags`` rows are per-event run
+    descriptors; ``gaps`` has one row per event *plus one final row per
+    chunk* (the gap after a chunk's last event); ``dirty`` is the flat
     concatenation of every gap's dirty-bit transition list; ``tape``
-    holds the bytes moved by each synchronous DRAM access in order.
-    ``cycle_ps`` and ``stats`` snapshot the recording run's clock and
-    final counters for :func:`replay_decoupled`.
+    holds the bytes moved by each synchronous DRAM access in order;
+    ``dops`` is the decision-op tape of a preempting recording (empty
+    for non-preempting machines).  ``cycle_ps`` and ``stats`` snapshot
+    the recording run's clock and final counters for
+    :func:`replay_decoupled`.
     """
 
     def __init__(
@@ -311,6 +402,7 @@ class MissPlane:
         cycle_ps: int,
         stats: dict,
         path: Path | None = None,
+        dops: np.ndarray | None = None,
     ) -> None:
         self.key = key
         self.chunks = chunks
@@ -319,6 +411,9 @@ class MissPlane:
         self.gaps = gaps
         self.dirty = dirty
         self.tape = tape
+        self.dops = (
+            dops if dops is not None else np.zeros((0, 3), dtype=np.int64)
+        )
         self.cycle_ps = cycle_ps
         self.stats = stats
         self.path = path
@@ -326,7 +421,41 @@ class MissPlane:
         self.num_events = len(events)
         self._ev_offsets = None
         self._dirty_offsets = None
+        self._tape_counts = None
+        self._dop_rows = None
         self._views: dict[int, PlaneChunk] = {}
+
+    def tape_counts(self) -> tuple[list[int], np.ndarray]:
+        """Distinct tape byte counts and their frequencies, cached.
+
+        Priced once per plane group: every sibling cell re-prices the
+        same ``(values, counts)`` pair under its own Rambus timing.
+        """
+        if self._tape_counts is None:
+            if len(self.tape):
+                values, counts = np.unique(
+                    np.asarray(self.tape), return_counts=True
+                )
+                self._tape_counts = (values.tolist(), counts.astype(np.int64))
+            else:
+                self._tape_counts = ([], np.zeros(0, dtype=np.int64))
+        return self._tape_counts
+
+    def dop_rows(self) -> tuple[list[int], list[int], list[int]]:
+        """The decision-op tape as plain Python columns, cached.
+
+        The replay recursion is a tight scalar loop; list iteration
+        beats numpy row indexing and the unpack is shared by every
+        sibling cell.
+        """
+        if self._dop_rows is None:
+            dops = np.asarray(self.dops)
+            self._dop_rows = (
+                dops[:, 0].tolist(),
+                dops[:, 1].tolist(),
+                dops[:, 2].tolist(),
+            )
+        return self._dop_rows
 
     def _offsets(self):
         if self._ev_offsets is None:
@@ -360,11 +489,14 @@ class MissPlane:
         for count in gaps[:, 3].tolist():
             gap_dirty.append(self.dirty[pos : pos + count].tolist())
             pos += count
-        pid, n_refs, n_events = (int(v) for v in self.chunks[ordinal])
+        pid, n_refs, n_events, consumed = (
+            int(v) for v in self.chunks[ordinal]
+        )
         view = PlaneChunk(
             pid,
             n_refs,
             n_events,
+            consumed,
             np.asarray(self.events[ev_lo:ev_hi]),
             np.asarray(self.flags[ev_lo:ev_hi]),
             gaps,
@@ -386,7 +518,7 @@ class PlaneRecorder:
 
     def __init__(self, key: str) -> None:
         self.key = key
-        self._chunks: list[tuple[int, int, int]] = []
+        self._chunks: list[tuple[int, int, int, int]] = []
         self._events: list[tuple[int, int, int, int, int, int]] = []
         self._flags: list[int] = []
         self._gaps: list[tuple[int, int, int, int]] = []
@@ -394,11 +526,47 @@ class PlaneRecorder:
         self._chunk_events = 0
         #: Bytes per synchronous DRAM access, appended by ``_dram_sync``.
         self.tape: list[int] = []
+        #: Decision ops of a preempting recording (``(kind, arg, cycles)``
+        #: rows); stays empty for non-preempting machines.
+        self.dops: list[tuple[int, int, int]] = []
+        self._fills = 0
         self._cycle_ps: int | None = None
         self._stats: dict | None = None
 
     def begin_chunk(self) -> None:
         self._chunk_events = 0
+
+    # -- decision-op taps (preempting machines only) -------------------
+
+    def sync_op(self, nbytes: int, cycles: int) -> None:
+        """Record a blocking DRAM transfer at CPU cycle ``cycles``."""
+        self.dops.append((DOP_SYNC, nbytes, cycles))
+
+    def background_op(self, nbytes: int, cycles: int, fill: bool) -> int:
+        """Record a queued background transfer; fills return an ordinal.
+
+        The ordinal names the fill's completion time in the replay
+        recursion; the recording system maps the filled frame to it in
+        its shadow pending table and emits :meth:`wait_op` at the
+        frame's next structural touch.
+        """
+        if fill:
+            ordinal = self._fills
+            self._fills += 1
+            self.dops.append((DOP_BG_FILL, nbytes, cycles))
+            return ordinal
+        self.dops.append((DOP_BG_WB, nbytes, cycles))
+        return -1
+
+    def wait_op(self, ordinal: int, cycles: int) -> None:
+        """Record a potential stall on fill ``ordinal``.
+
+        Emitted at every structural first touch of a filled frame --
+        whether or not the recording run actually stalled there -- so a
+        sibling cell whose transfer is relatively slower still charges
+        the wait.
+        """
+        self.dops.append((DOP_WAIT, ordinal, cycles))
 
     def event(
         self,
@@ -425,31 +593,44 @@ class PlaneRecorder:
         self,
         pid: int,
         n_refs: int,
+        consumed: int,
         gap_ifetch: int,
         gap_reads: int,
         gap_writes: int,
         gap_dirty: list[int],
     ) -> None:
-        """Close the chunk's final gap and commit its chunk-table row."""
+        """Close the chunk's final gap and commit its chunk-table row.
+
+        ``consumed`` is how many of the chunk's ``n_refs`` references the
+        run actually retired -- short of ``n_refs`` exactly when the
+        chunk ended in a preemption (its last event carries
+        :data:`FLAG_PREEMPT` and the driver re-presents the tail as the
+        next chunk).
+        """
         self._gaps.append((gap_ifetch, gap_reads, gap_writes, len(gap_dirty)))
         self._dirty.extend(gap_dirty)
-        self._chunks.append((pid, n_refs, self._chunk_events))
+        self._chunks.append((pid, n_refs, self._chunk_events, consumed))
         self._chunk_events = 0
 
-    def capture(self, cycle_ps: int, stats: dict) -> None:
+    def capture(self, cycle_ps: int, stats: dict, dram=None) -> None:
         """Snapshot the recording run's clock and final counters.
 
         Called by :func:`~repro.systems.simulator.simulate` once the
         recording run finalizes; validates the invariants the decoupled
-        replay arithmetic relies on (no channel queueing, no background
-        transfers, every level-time an exact cycle multiple).
+        replay arithmetic relies on.  A non-preempting recording (empty
+        decision-op tape) must show no channel queueing and no
+        background transfers; a preempting recording instead proves its
+        tape by replaying it under the recording run's own ``dram`` and
+        ``cycle_ps`` and requiring it to reproduce the run's measured
+        DRAM time, stall and overlap exactly.
         """
         level_times = stats.get("level_times", {})
         problems = []
-        if stats.get("dram_stall_ps", 0) != 0:
-            problems.append("nonzero dram_stall_ps")
-        if stats.get("dram_overlap_ps", 0) != 0:
-            problems.append("nonzero dram_overlap_ps")
+        if not self.dops:
+            if stats.get("dram_stall_ps", 0) != 0:
+                problems.append("nonzero dram_stall_ps")
+            if stats.get("dram_overlap_ps", 0) != 0:
+                problems.append("nonzero dram_overlap_ps")
         if level_times.get("other", 0) != 0:
             problems.append("nonzero level_times.other")
         if len(self.tape) != stats.get("dram_accesses"):
@@ -460,6 +641,41 @@ class PlaneRecorder:
         for level in ("l1i", "l1d", "l2"):
             if level_times.get(level, 0) % cycle_ps:
                 problems.append(f"level_times.{level} not a cycle multiple")
+        if self.dops and not problems:
+            if dram is None:
+                problems.append(
+                    "preempting recording captured without its DRAM params"
+                )
+            else:
+                syncs = [row for row in self.dops if row[0] == DOP_SYNC]
+                if len(syncs) != len(self.tape) or any(
+                    row[1] != nbytes for row, nbytes in zip(syncs, self.tape)
+                ):
+                    problems.append("decision-op tape disagrees with DRAM tape")
+                else:
+                    columns = (
+                        [row[0] for row in self.dops],
+                        [row[1] for row in self.dops],
+                        [row[2] for row in self.dops],
+                    )
+                    dram_ps, stall, overlap = _replay_timeline(
+                        dram, int(cycle_ps), columns
+                    )
+                    if dram_ps != level_times.get("dram", 0):
+                        problems.append(
+                            f"tape replays to dram={dram_ps}, run measured "
+                            f"{level_times.get('dram', 0)}"
+                        )
+                    if stall != stats.get("dram_stall_ps", 0):
+                        problems.append(
+                            f"tape replays to stall={stall}, run measured "
+                            f"{stats.get('dram_stall_ps', 0)}"
+                        )
+                    if overlap != stats.get("dram_overlap_ps", 0):
+                        problems.append(
+                            f"tape replays to overlap={overlap}, run measured "
+                            f"{stats.get('dram_overlap_ps', 0)}"
+                        )
         if problems:
             raise SimulationError(
                 "recording run broke a timing-decoupling invariant: "
@@ -476,7 +692,7 @@ class PlaneRecorder:
             )
         return MissPlane(
             key=self.key,
-            chunks=np.array(self._chunks, dtype=np.int64).reshape(-1, 3),
+            chunks=np.array(self._chunks, dtype=np.int64).reshape(-1, 4),
             events=np.array(self._events, dtype=np.int64).reshape(-1, 6),
             flags=np.array(self._flags, dtype=np.uint8),
             gaps=np.array(self._gaps, dtype=np.int64).reshape(-1, 4),
@@ -484,6 +700,7 @@ class PlaneRecorder:
             tape=np.array(self.tape, dtype=np.int64),
             cycle_ps=self._cycle_ps,
             stats=self._stats,
+            dops=np.array(self.dops, dtype=np.int64).reshape(-1, 3),
         )
 
 
@@ -537,6 +754,7 @@ def write_plane(directory: str | Path, plane: MissPlane) -> Path:
             "gaps": int(len(plane.gaps)),
             "dirty": int(len(plane.dirty)),
             "tape": int(len(plane.tape)),
+            "dops": int(len(plane.dops)),
             "timing": timing,
             "timing_checksum": _timing_checksum(timing),
             "checksums": checksums,
@@ -565,10 +783,10 @@ def read_manifest(directory: str | Path) -> dict:
         raise CacheIntegrityError(f"unreadable plane manifest: {exc}") from exc
     if not isinstance(manifest, dict):
         raise CacheIntegrityError("plane manifest is not an object")
-    if manifest.get("schema") != PLANE_SCHEMA:
+    if manifest.get("schema") not in (PLANE_SCHEMA, PLANE_SCHEMA_V1):
         raise CacheIntegrityError(
             f"schema mismatch: artifact has {manifest.get('schema')!r}, "
-            f"expected {PLANE_SCHEMA!r}"
+            f"expected {PLANE_SCHEMA!r} (or the readable {PLANE_SCHEMA_V1!r})"
         )
     if manifest.get("workload_version") != WORKLOAD_VERSION:
         raise CacheIntegrityError(
@@ -597,8 +815,10 @@ def load_plane(directory: str | Path, key: str | None = None) -> MissPlane:
             f"expected {key!r}"
         )
     checksums = manifest["checksums"]
+    is_v1 = manifest.get("schema") == PLANE_SCHEMA_V1
+    specs = _ARRAY_SPECS_V1 if is_v1 else _ARRAY_SPECS
     arrays: dict[str, np.ndarray] = {}
-    for name, dtype, columns in _ARRAY_SPECS:
+    for name, dtype, columns in specs:
         filename = f"{name}.npy"
         path = directory / filename
         if not path.exists():
@@ -629,6 +849,43 @@ def load_plane(directory: str | Path, key: str | None = None) -> MissPlane:
                 f"{name}.npy has {len(array)} rows; manifest says "
                 f"{manifest.get(name)}"
             )
+    if is_v1:
+        # v1 chunks lack the consumed column: v1 recordings abort on
+        # preemption, so every chunk ran to completion.  Widen in place
+        # (a copy; v1 arrays stay mmapped but small) and carry no
+        # decision ops.
+        upgraded = np.empty((len(chunks), 4), dtype=np.int64)
+        upgraded[:, :3] = chunks
+        upgraded[:, 3] = chunks[:, 1]
+        chunks = upgraded
+        dops = np.zeros((0, 3), dtype=np.int64)
+    else:
+        dops = arrays["dops"]
+        if len(chunks) and (
+            np.any(chunks[:, 3] < 0) or np.any(chunks[:, 3] > chunks[:, 1])
+        ):
+            raise CacheIntegrityError(
+                "chunks.npy has a consumed count outside [0, n_refs]"
+            )
+        if len(dops):
+            kinds = dops[:, 0]
+            if kinds.min() < DOP_SYNC or kinds.max() > DOP_WAIT:
+                raise CacheIntegrityError("dops.npy has an unknown op kind")
+            sync_args = dops[kinds == DOP_SYNC, 1]
+            if len(sync_args) != len(arrays["tape"]) or not np.array_equal(
+                sync_args, arrays["tape"]
+            ):
+                raise CacheIntegrityError(
+                    "dops.npy synchronous transfers disagree with tape.npy"
+                )
+            fills_before = np.cumsum(kinds == DOP_BG_FILL)
+            waits = kinds == DOP_WAIT
+            if np.any(dops[waits, 1] < 0) or np.any(
+                dops[waits, 1] >= fills_before[waits]
+            ):
+                raise CacheIntegrityError(
+                    "dops.npy waits on a fill not yet queued"
+                )
     total_events = int(chunks[:, 2].sum()) if len(chunks) else 0
     if len(events) != total_events or len(flags) != total_events:
         raise CacheIntegrityError(
@@ -676,6 +933,7 @@ def load_plane(directory: str | Path, key: str | None = None) -> MissPlane:
         cycle_ps=cycle_ps,
         stats=stats,
         path=directory,
+        dops=dops,
     )
 
 
@@ -836,24 +1094,75 @@ def _stats_from_dict(payload: dict) -> SimStats:
     return stats
 
 
-def replay_decoupled(params: MachineParams, plane: MissPlane):
-    """Reprice a plane's recorded run under ``params``'s timing.
+def _replay_timeline(
+    dram, cycle_ps: int, columns: tuple[list, list, list]
+) -> tuple[int, int, int]:
+    """Run a decision-op tape under one (dram, cycle) timing.
 
-    Pure arithmetic -- no workload, no machine state: rescale the
-    recorded per-level cycle counts to ``params``'s clock and re-price
-    the DRAM tape under ``params``'s Rambus timing (see the module
-    docstring for why this is exact).  Returns the byte-identical
-    :class:`~repro.systems.base.SimulationResult` the full simulation
-    would produce, provided ``params`` shares the plane's structural
-    key.  Raises :class:`PlaneReplayError` when the snapshot breaks a
-    decoupling invariant, so the caller can quarantine and recompute.
+    Integer max-plus recursion over the tape: the CPU-side cycle count
+    of every op is timing-invariant (recorded in the tape), so the op's
+    wall-clock instant is ``cycles * cycle_ps + extra`` where ``extra``
+    accumulates DRAM-side waits and transfers -- exactly how
+    :class:`~repro.core.clock.SimClock` splits time.  Each op then
+    reproduces the live channel arithmetic
+    (:meth:`~repro.mem.dram.RambusChannel.synchronous` /
+    :meth:`~repro.mem.dram.RambusChannel.begin_background` and the
+    pricing rule of ``_cost_ps``) verbatim, so the returned
+    ``(dram_ps, stall_ps, overlap_ps)`` is byte-identical to what the
+    full simulation measures at that timing.
     """
-    from repro.systems.base import SimulationResult
+    kinds, argvals, op_cycles = columns
+    pipelined = dram.pipelined
+    free_at = 0
+    extra = 0
+    stall = 0
+    overlap = 0
+    dram_ps = 0
+    ready: list[int] = []
+    for op, arg, cyc in zip(kinds, argvals, op_cycles):
+        now = cyc * cycle_ps + extra
+        if op == DOP_SYNC:
+            wait = free_at - now
+            if wait < 0:
+                wait = 0
+            cost = (
+                rambus_pipelined_ps(dram, arg)
+                if pipelined and wait
+                else rambus_transfer_ps(dram, arg)
+            )
+            extra += wait + cost
+            free_at = now + wait + cost
+            stall += wait
+            dram_ps += wait + cost
+        elif op == DOP_WAIT:
+            wait = ready[arg] - now
+            if wait > 0:
+                extra += wait
+                stall += wait
+                dram_ps += wait
+        else:  # DOP_BG_WB / DOP_BG_FILL
+            start = free_at if free_at > now else now
+            cost = (
+                rambus_pipelined_ps(dram, arg)
+                if pipelined and start > now
+                else rambus_transfer_ps(dram, arg)
+            )
+            free_at = start + cost
+            if op == DOP_BG_FILL:
+                ready.append(free_at)
+                overlap += free_at - now
+    return dram_ps, stall, overlap
 
-    if not plane_eligible(params):
-        raise PlaneReplayError(
-            f"machine kind={params.kind!r} is not plane-eligible"
-        )
+
+def _validate_snapshot(plane: MissPlane) -> tuple[dict, dict, int]:
+    """Check a plane's timing snapshot against the decoupling invariants.
+
+    Returns ``(recorded_stats, level_times, recording_cycle_ps)``;
+    raises :class:`PlaneReplayError` on any violation so callers can
+    quarantine and recompute.  Preempting planes (non-empty decision-op
+    tape) legitimately carry nonzero stall/overlap -- those are
+    re-derived per cell -- while non-preempting planes must show none.
+    """
     recorded = plane.stats
     if not isinstance(recorded, dict):
         raise PlaneReplayError("plane has no timing snapshot")
@@ -861,10 +1170,11 @@ def replay_decoupled(params: MachineParams, plane: MissPlane):
     if not isinstance(level_times, dict):
         raise PlaneReplayError("plane timing snapshot has no level_times")
     problems = []
-    if recorded.get("dram_stall_ps", 0) != 0:
-        problems.append("nonzero dram_stall_ps")
-    if recorded.get("dram_overlap_ps", 0) != 0:
-        problems.append("nonzero dram_overlap_ps")
+    if not len(plane.dops):
+        if recorded.get("dram_stall_ps", 0) != 0:
+            problems.append("nonzero dram_stall_ps")
+        if recorded.get("dram_overlap_ps", 0) != 0:
+            problems.append("nonzero dram_overlap_ps")
     if level_times.get("other", 0) != 0:
         problems.append("nonzero level_times.other")
     if len(plane.tape) != recorded.get("dram_accesses"):
@@ -881,15 +1191,26 @@ def replay_decoupled(params: MachineParams, plane: MissPlane):
             "plane timing snapshot broke a decoupling invariant: "
             + "; ".join(problems)
         )
+    return recorded, level_times, rec_cycle
+
+
+def _reprice_cell(
+    params: MachineParams,
+    plane: MissPlane,
+    recorded: dict,
+    level_times: dict,
+    rec_cycle: int,
+    dram_ps: int,
+    stall_ps: int,
+    overlap_ps: int,
+):
+    """Assemble one cell's result from its re-priced DRAM numbers."""
+    from repro.systems.base import SimulationResult
+
     cell_cycle = cycle_time_ps(params.issue_rate_hz)
     stats = _stats_from_dict(recorded)
-    # The tape holds a handful of distinct sizes (L2 block, page, table
-    # entry); price each once through the canonical transfer model.
-    dram_ps = 0
-    if len(plane.tape):
-        values, counts = np.unique(np.asarray(plane.tape), return_counts=True)
-        for nbytes, count in zip(values.tolist(), counts.tolist()):
-            dram_ps += int(count) * rambus_transfer_ps(params.dram, int(nbytes))
+    stats.dram_stall_ps = stall_ps
+    stats.dram_overlap_ps = overlap_ps
     lt = stats.level_times
     lt.l1i = (int(level_times["l1i"]) // rec_cycle) * cell_cycle
     lt.l1d = (int(level_times["l1d"]) // rec_cycle) * cell_cycle
@@ -897,3 +1218,114 @@ def replay_decoupled(params: MachineParams, plane: MissPlane):
     lt.dram = dram_ps
     lt.other = 0
     return SimulationResult(params=params, stats=stats)
+
+
+def _tape_price(params: MachineParams, plane: MissPlane) -> int:
+    """Price a queue-free tape: each distinct size once, idle channel."""
+    dram_ps = 0
+    values, counts = plane.tape_counts()
+    for nbytes, count in zip(values, counts.tolist()):
+        dram_ps += int(count) * rambus_transfer_ps(params.dram, int(nbytes))
+    return dram_ps
+
+
+def replay_decoupled(params: MachineParams, plane: MissPlane):
+    """Reprice a plane's recorded run under ``params``'s timing.
+
+    Pure arithmetic -- no workload, no machine state: rescale the
+    recorded per-level cycle counts to ``params``'s clock and re-price
+    the recorded DRAM interactions under ``params``'s Rambus timing
+    (see the module docstring for why this is exact).  Non-preempting
+    planes price their synchronous tape on an idle channel; preempting
+    planes replay the decision-op tape through
+    :func:`_replay_timeline`, re-deriving ``dram_stall_ps`` and
+    ``dram_overlap_ps`` for this cell.  Returns the byte-identical
+    :class:`~repro.systems.base.SimulationResult` the full simulation
+    would produce, provided ``params`` shares the plane's structural
+    key.  Raises :class:`PlaneReplayError` when the snapshot breaks a
+    decoupling invariant, so the caller can quarantine and recompute.
+    """
+    if not plane_eligible(params):
+        raise PlaneReplayError(
+            f"machine kind={params.kind!r} is not plane-eligible"
+        )
+    recorded, level_times, rec_cycle = _validate_snapshot(plane)
+    if len(plane.dops):
+        cell_cycle = cycle_time_ps(params.issue_rate_hz)
+        try:
+            dram_ps, stall, overlap = _replay_timeline(
+                params.dram, cell_cycle, plane.dop_rows()
+            )
+        except IndexError as exc:
+            raise PlaneReplayError(
+                f"malformed decision-op tape: {exc}"
+            ) from exc
+    else:
+        dram_ps, stall, overlap = _tape_price(params, plane), 0, 0
+    return _reprice_cell(
+        params, plane, recorded, level_times, rec_cycle, dram_ps, stall, overlap
+    )
+
+
+def replay_group(params_list, plane: MissPlane) -> list:
+    """Reprice every sibling cell of one plane group in one pass.
+
+    The whole-group warm path: the snapshot is validated once, the tape
+    is priced for all cells together, and each cell's record is
+    assembled exactly as :func:`replay_decoupled` would -- the results
+    are byte-identical to calling it per cell (tests enforce this).
+
+    Non-preempting planes vectorize completely: one
+    ``(n_cells, n_distinct)`` int64 price matrix (a handful of distinct
+    transfer sizes priced per DRAM timing) multiplied into the plane's
+    count vector prices every cell in a single matrix op.  Preempting
+    planes run the integer timeline per cell over the shared cached
+    op columns -- still pure arithmetic, no simulation.
+    """
+    params_list = list(params_list)
+    for params in params_list:
+        if not plane_eligible(params):
+            raise PlaneReplayError(
+                f"machine kind={params.kind!r} is not plane-eligible"
+            )
+    recorded, level_times, rec_cycle = _validate_snapshot(plane)
+    results = []
+    if len(plane.dops):
+        columns = plane.dop_rows()
+        for params in params_list:
+            cell_cycle = cycle_time_ps(params.issue_rate_hz)
+            try:
+                dram_ps, stall, overlap = _replay_timeline(
+                    params.dram, cell_cycle, columns
+                )
+            except IndexError as exc:
+                raise PlaneReplayError(
+                    f"malformed decision-op tape: {exc}"
+                ) from exc
+            results.append(
+                _reprice_cell(
+                    params, plane, recorded, level_times, rec_cycle,
+                    dram_ps, stall, overlap,
+                )
+            )
+        return results
+    values, counts = plane.tape_counts()
+    if values:
+        prices = np.array(
+            [
+                [rambus_transfer_ps(params.dram, int(v)) for v in values]
+                for params in params_list
+            ],
+            dtype=np.int64,
+        )
+        dram_vec = (prices @ counts).tolist()
+    else:
+        dram_vec = [0] * len(params_list)
+    for params, dram_ps in zip(params_list, dram_vec):
+        results.append(
+            _reprice_cell(
+                params, plane, recorded, level_times, rec_cycle,
+                int(dram_ps), 0, 0,
+            )
+        )
+    return results

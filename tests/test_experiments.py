@@ -31,7 +31,13 @@ def runner():
 
 class TestRunnerInfra:
     def test_known_grids(self):
-        assert set(GRID_BUILDERS) == {"baseline", "rampage", "rampage_som", "twoway"}
+        assert set(GRID_BUILDERS) == {
+            "baseline",
+            "rampage",
+            "rampage_som",
+            "rampage_vl1",
+            "twoway",
+        }
 
     def test_grid_caches_in_memory(self, runner):
         first = runner.grid("baseline")

@@ -1,0 +1,374 @@
+"""Preemption-aware miss planes (``rampage-plane/2``).
+
+The tentpole contract: switch-on-miss RAMpage and virtual-L1 machines
+-- whose background page transfers and preemption points used to force
+every sibling cell through a full simulation -- record a *decision-op
+tape* alongside the transfer tape, and both phase-2 paths (the
+event-filtered replay and the pure-arithmetic decoupled replay)
+reproduce the unfiltered run **byte-for-byte** under any sibling issue
+rate and Rambus timing.  Whole groups re-price in one
+:func:`replay_group` call with identical bytes.  v2 artifacts
+round-trip through disk with the full integrity discipline, and v1
+artifacts stay readable.
+"""
+
+import json
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.errors import CacheIntegrityError
+from repro.core.observe import EventLog
+from repro.core.params import RambusParams
+from repro.systems.factory import (
+    aggressive_l1,
+    baseline_machine,
+    rampage_machine,
+    virtual_l1_machine,
+)
+from repro.systems.simulator import simulate
+from repro.trace import filter as missplane
+from repro.trace import materialize
+from repro.trace.filter import (
+    MANIFEST_NAME,
+    PLANE_SCHEMA,
+    PLANE_SCHEMA_V1,
+    PlaneRecorder,
+    PlaneReplayError,
+    artifact_dir,
+    get_plane,
+    load_plane,
+    plane_eligible,
+    plane_key,
+    replay_decoupled,
+    replay_group,
+    select_replay_mode,
+    write_plane,
+)
+from repro.trace.materialize import get_workload
+
+SCALE = 0.0002
+SLICE_REFS = 4_000
+SEED = 0
+RATES = (2 * 10**8, 10**9, 4 * 10**9)
+#: Two genuinely different Rambus timings beyond the recording default:
+#: a slow part and a pipelined channel (which re-prices queued
+#: background transfers differently from the recording).
+DRAM_TIMINGS = (
+    RambusParams(),
+    RambusParams(access_ps=90_000, ps_per_beat=2_500),
+    RambusParams(pipelined=True),
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_registries():
+    materialize.clear_registry()
+    missplane.clear_registry()
+    yield
+    materialize.clear_registry()
+    missplane.clear_registry()
+
+
+def programs():
+    return get_workload(SCALE, SEED, cache_dir=None).programs
+
+
+def preempting_machines():
+    return [
+        (
+            "rampage_som",
+            lambda rate, dram: rampage_machine(
+                rate, 1024, switch_on_miss=True, dram=dram
+            ),
+        ),
+        (
+            "vl1",
+            lambda rate, dram: virtual_l1_machine(rate, 1024, dram=dram),
+        ),
+        (
+            "vl1_som",
+            lambda rate, dram: virtual_l1_machine(
+                rate, 1024, switch_on_miss=True, dram=dram
+            ),
+        ),
+    ]
+
+
+def record_plane(params):
+    recorder = PlaneRecorder(plane_key(params, SCALE, SEED, SLICE_REFS))
+    result = simulate(
+        params, programs(), slice_refs=SLICE_REFS, record_plane=recorder
+    )
+    return result, recorder.finalize()
+
+
+# ----------------------------------------------------------------------
+# Eligibility and mode selection
+# ----------------------------------------------------------------------
+
+
+def test_preempting_machines_are_plane_eligible():
+    assert plane_eligible(rampage_machine(10**9, 1024, switch_on_miss=True))
+    assert plane_eligible(virtual_l1_machine(10**9, 1024))
+    assert plane_eligible(
+        virtual_l1_machine(10**9, 1024, switch_on_miss=True)
+    )
+
+
+def test_select_replay_mode_policy():
+    params = rampage_machine(10**9, 1024, switch_on_miss=True)
+    assert select_replay_mode(params) == "plane"
+    assert select_replay_mode(params, two_phase=False) == "full"
+    assert select_replay_mode(params, materialize=False) == "full"
+    assert select_replay_mode(params, require_cache=True) == "full"
+    assert (
+        select_replay_mode(params, cache_dir="/tmp/x", require_cache=True)
+        == "plane"
+    )
+    assert (
+        select_replay_mode(baseline_machine(10**9, 512, l1=aggressive_l1()))
+        == "full"
+    )
+
+
+# ----------------------------------------------------------------------
+# Three-way byte-identity: the acceptance criterion
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "label,build",
+    preempting_machines(),
+    ids=[m[0] for m in preempting_machines()],
+)
+def test_three_way_byte_identity_across_rates_and_dram(label, build):
+    """Full simulation, event-filtered replay and decoupled arithmetic
+    agree byte-for-byte for preempting machines, across issue rates
+    *and* Rambus timings (including a pipelined channel, which prices
+    queued background transfers differently than the recording did)."""
+    params = build(10**9, RambusParams())
+    recorded, plane = record_plane(params)
+    # Preempting recordings carry a real decision-op tape; the
+    # non-switching virtual-L1 machine never queues transfers, so its
+    # plane is tape-only like any other non-preempting machine's.
+    assert (len(plane.dops) > 0) == params.switch_on_miss
+    plain = simulate(
+        build(10**9, RambusParams()), programs(), slice_refs=SLICE_REFS
+    )
+    assert recorded.stats.as_dict() == plain.stats.as_dict()
+    for rate in RATES:
+        for dram in DRAM_TIMINGS:
+            cell = build(rate, dram)
+            expected = simulate(
+                cell, programs(), slice_refs=SLICE_REFS
+            ).stats.as_dict()
+            filtered = simulate(
+                cell, programs(), slice_refs=SLICE_REFS, replay_plane=plane
+            )
+            assert filtered.stats.as_dict() == expected
+            decoupled = replay_decoupled(cell, plane)
+            assert decoupled.stats.as_dict() == expected
+
+
+@pytest.mark.parametrize(
+    "label,build",
+    preempting_machines(),
+    ids=[m[0] for m in preempting_machines()],
+)
+def test_replay_group_matches_per_cell_decoupled(label, build):
+    _, plane = record_plane(build(10**9, RambusParams()))
+    cells = [build(rate, dram) for rate in RATES for dram in DRAM_TIMINGS]
+    grouped = replay_group(cells, plane)
+    for cell, result in zip(cells, grouped):
+        assert (
+            result.stats.as_dict()
+            == replay_decoupled(cell, plane).stats.as_dict()
+        )
+
+
+def test_replay_group_matches_per_cell_on_tape_only_planes():
+    """The vectorized matrix path (non-preempting planes) is
+    byte-identical to the scalar per-cell pricing."""
+    _, plane = record_plane(baseline_machine(10**9, 512))
+    assert len(plane.dops) == 0
+    cells = [
+        baseline_machine(rate, 512, dram=dram)
+        for rate in RATES
+        for dram in DRAM_TIMINGS
+    ]
+    grouped = replay_group(cells, plane)
+    for cell, result in zip(cells, grouped):
+        assert (
+            result.stats.as_dict()
+            == replay_decoupled(cell, plane).stats.as_dict()
+        )
+
+
+def test_filtered_replay_rejects_structurally_mismatched_machine():
+    """A preempting plane drives preemptions the non-preempting machine
+    never takes; the filtered replay detects the divergence instead of
+    silently producing wrong numbers."""
+    _, plane = record_plane(rampage_machine(10**9, 1024, switch_on_miss=True))
+    with pytest.raises(PlaneReplayError):
+        simulate(
+            rampage_machine(10**9, 1024),
+            programs(),
+            slice_refs=SLICE_REFS,
+            replay_plane=plane,
+        )
+
+
+# ----------------------------------------------------------------------
+# Disk artifacts: v2 round-trip, corruption, v1 back-compat
+# ----------------------------------------------------------------------
+
+
+def test_v2_plane_round_trips_through_disk(tmp_path):
+    params = rampage_machine(10**9, 1024, switch_on_miss=True)
+    _, plane = record_plane(params)
+    path = write_plane(artifact_dir(tmp_path, plane.key), plane)
+    manifest = json.loads((path / MANIFEST_NAME).read_text("utf-8"))
+    assert manifest["schema"] == PLANE_SCHEMA
+    assert manifest["dops"] == len(plane.dops)
+    attached = load_plane(path)
+    assert np.array_equal(attached.dops, plane.dops)
+    assert np.array_equal(attached.chunks, plane.chunks)
+    for rate in RATES:
+        cell = rampage_machine(rate, 1024, switch_on_miss=True)
+        assert (
+            replay_decoupled(cell, attached).stats.as_dict()
+            == replay_decoupled(cell, plane).stats.as_dict()
+        )
+
+
+@pytest.mark.parametrize(
+    "damage",
+    [
+        lambda path: (path / "dops.npy").write_bytes(b"torn"),
+        lambda path: (path / "dops.npy").unlink(),
+        lambda path: np.save(
+            path / "dops.npy", np.zeros((1, 3), dtype=np.int64)
+        ),
+    ],
+    ids=["truncated-dops", "missing-dops", "swapped-dops"],
+)
+def test_corrupt_dops_is_quarantined_miss(tmp_path, damage):
+    params = rampage_machine(10**9, 1024, switch_on_miss=True)
+    _, plane = record_plane(params)
+    path = write_plane(artifact_dir(tmp_path, plane.key), plane)
+    damage(path)
+    with pytest.raises(CacheIntegrityError):
+        load_plane(path)
+    events = EventLog()
+    assert get_plane(plane.key, cache_dir=tmp_path, events=events) is None
+    quarantined = events.of("plane_quarantined")
+    assert len(quarantined) == 1
+    assert quarantined[0]["reason"]
+    assert not path.exists()
+
+
+def test_cache_verify_validates_v2_checksums(tmp_path, capsys):
+    params = rampage_machine(10**9, 1024, switch_on_miss=True)
+    _, plane = record_plane(params)
+    path = write_plane(artifact_dir(tmp_path, plane.key), plane)
+    assert main(["cache", "verify", "--dir", str(tmp_path)]) == 0
+    # In-place bit-rot in the decision-op tape must fail verification.
+    raw = bytearray((path / "dops.npy").read_bytes())
+    raw[-1] ^= 0xFF
+    (path / "dops.npy").write_bytes(bytes(raw))
+    assert main(["cache", "verify", "--dir", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "dops.npy" in out
+
+
+def _rewrite_as_v1(path) -> None:
+    """Rewrite a committed non-preempting v2 artifact in v1 format:
+    3-column chunk table, no decision-op tape, v1 schema tag."""
+    manifest = json.loads((path / MANIFEST_NAME).read_text("utf-8"))
+    chunks = np.load(path / "chunks.npy")
+    np.save(path / "chunks.npy", np.ascontiguousarray(chunks[:, :3]))
+    (path / "dops.npy").unlink()
+    manifest["schema"] = PLANE_SCHEMA_V1
+    del manifest["dops"]
+    del manifest["checksums"]["dops.npy"]
+    manifest["checksums"]["chunks.npy"] = missplane._file_checksum(
+        path / "chunks.npy"
+    )
+    (path / MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=2) + "\n", "utf-8"
+    )
+
+
+def test_v1_plane_stays_readable(tmp_path):
+    """Backward compatibility: a v1 artifact (pre-preemption layout)
+    loads, upgrades in memory (consumed = n_refs, empty dops) and
+    replays identically to the v2 copy of the same recording."""
+    params = rampage_machine(10**9, 1024)
+    _, plane = record_plane(params)
+    path = write_plane(artifact_dir(tmp_path, plane.key), plane)
+    _rewrite_as_v1(path)
+    v1 = load_plane(path)
+    assert len(v1.dops) == 0
+    assert np.array_equal(v1.chunks[:, 3], v1.chunks[:, 1])
+    for rate in RATES:
+        cell = rampage_machine(rate, 1024)
+        expected = simulate(
+            cell, programs(), slice_refs=SLICE_REFS
+        ).stats.as_dict()
+        assert replay_decoupled(cell, v1).stats.as_dict() == expected
+        filtered = simulate(
+            cell, programs(), slice_refs=SLICE_REFS, replay_plane=v1
+        )
+        assert filtered.stats.as_dict() == expected
+    assert main(["cache", "verify", "--dir", str(tmp_path)]) == 0
+
+
+def test_v1_schema_tag_on_preempting_layout_is_rejected(tmp_path):
+    """A v1 manifest must describe a v1 layout: the 4-column chunk
+    table of a v2 artifact fails shape validation instead of silently
+    misparsing."""
+    params = rampage_machine(10**9, 1024)
+    _, plane = record_plane(params)
+    path = write_plane(artifact_dir(tmp_path, plane.key), plane)
+    manifest = json.loads((path / MANIFEST_NAME).read_text("utf-8"))
+    manifest["schema"] = PLANE_SCHEMA_V1
+    (path / MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=2) + "\n", "utf-8"
+    )
+    with pytest.raises(CacheIntegrityError):
+        load_plane(path)
+
+
+# ----------------------------------------------------------------------
+# Recorded snapshot sanity
+# ----------------------------------------------------------------------
+
+
+def test_preempting_plane_snapshot_carries_overlap():
+    """Switch-on-miss runs overlap DRAM transfers with execution; the
+    recorded snapshot must carry those picoseconds (the v1 invariant
+    that they are zero is exactly what the decision-op tape relaxes)."""
+    _, plane = record_plane(rampage_machine(10**9, 1024, switch_on_miss=True))
+    assert plane.stats["dram_overlap_ps"] > 0
+    assert plane.stats["switches_on_miss"] > 0
+    consumed = plane.chunks[:, 3]
+    assert np.any(consumed < plane.chunks[:, 1])  # some chunks preempted
+
+
+def test_dop_tape_scales_with_rambus_timing():
+    """Same structure, different stall arithmetic: a slower Rambus part
+    must not change the decision-op tape, only the re-priced times."""
+    base = rampage_machine(10**9, 1024, switch_on_miss=True)
+    slow = replace(
+        base, dram=RambusParams(access_ps=90_000, ps_per_beat=2_500)
+    )
+    _, plane_a = record_plane(base)
+    _, plane_b = record_plane(slow)
+    # Full rows, including the absolute cycle counts: DRAM time lives
+    # outside the cycle counter, so decision points land on identical
+    # cycles whatever the Rambus part costs.
+    assert np.array_equal(plane_a.dops, plane_b.dops)
+    assert np.array_equal(plane_a.tape, plane_b.tape)

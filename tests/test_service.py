@@ -225,6 +225,28 @@ def test_scheduler_executes_job_and_counts_modes(tmp_path):
         scheduler.stop(timeout=30)
 
 
+def test_scheduler_reports_replayed_mode_for_sibling_cells(tmp_path):
+    """A preempting (switch-on-miss) grid swept across issue rates
+    records one plane-group representative and re-prices the sibling as
+    ``mode=replayed`` -- and both modes surface in the job's counts."""
+    store, scheduler = make_scheduler(tmp_path)
+    scheduler.start()
+    try:
+        job, created = scheduler.submit(
+            spec(
+                labels=("rampage_som",),
+                issue_rates=(2 * 10**8, 10**9),
+                sizes=(1024,),
+            )
+        )
+        assert created
+        final = scheduler.wait(job.id, timeout=120)
+        assert final.status == COMPLETED
+        assert final.modes == {"recorded": 1, "replayed": 1}
+    finally:
+        scheduler.stop(timeout=30)
+
+
 def test_duplicate_submit_reuses_the_completed_job(tmp_path):
     store, scheduler = make_scheduler(tmp_path)
     scheduler.start()

@@ -22,7 +22,12 @@ from repro.core.params import RambusParams
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.parallel import ParallelRunner
 from repro.experiments.runner import Runner
-from repro.systems.factory import baseline_machine, rampage_machine, twoway_machine
+from repro.systems.factory import (
+    aggressive_l1,
+    baseline_machine,
+    rampage_machine,
+    twoway_machine,
+)
 from repro.systems.simulator import simulate
 from repro.trace import filter as missplane
 from repro.trace import materialize
@@ -126,7 +131,10 @@ def test_eligibility():
     assert plane_eligible(baseline_machine(10**9, 512))
     assert plane_eligible(rampage_machine(10**9, 1024))
     assert plane_eligible(twoway_machine(10**9, 512))  # 2-way L2, DM L1s
-    assert not plane_eligible(rampage_machine(10**9, 1024, switch_on_miss=True))
+    # Preempting machines are eligible since rampage-plane/2 (the
+    # decision-op tape); only associative L1s still force the scalar loop.
+    assert plane_eligible(rampage_machine(10**9, 1024, switch_on_miss=True))
+    assert not plane_eligible(baseline_machine(10**9, 512, l1=aggressive_l1()))
 
 
 # ----------------------------------------------------------------------
@@ -182,7 +190,9 @@ def test_decoupled_replay_reprices_dram_timing():
 def test_decoupled_replay_rejects_ineligible_machines():
     _, plane = record_plane(rampage_machine(10**9, 1024))
     with pytest.raises(PlaneReplayError, match="not plane-eligible"):
-        replay_decoupled(rampage_machine(10**9, 1024, switch_on_miss=True), plane)
+        replay_decoupled(
+            rampage_machine(10**9, 1024, l1=aggressive_l1()), plane
+        )
 
 
 # ----------------------------------------------------------------------
@@ -283,12 +293,17 @@ def test_runner_records_once_then_replays_per_geometry(tmp_path):
     assert len(planes) == 1
 
 
-def test_switch_on_miss_cells_never_use_planes(tmp_path):
+def test_switch_on_miss_cells_record_a_preempting_plane(tmp_path):
     runner = Runner(config(tmp_path, rates=RATES, sizes=(1024,)))
     runner.grid("rampage_som")
-    assert {e["mode"] for e in runner.events.of("cell_completed")} == {"full"}
-    plane_dir = tmp_path / PLANE_DIRNAME
-    assert not plane_dir.exists() or not any(plane_dir.iterdir())
+    modes = [e["mode"] for e in runner.events.of("cell_completed")]
+    assert modes.count("recorded") == 1
+    assert modes.count("replayed") == len(RATES) - 1
+    planes = [p for p in (tmp_path / PLANE_DIRNAME).iterdir() if p.is_dir()]
+    assert len(planes) == 1
+    # The preempting plane carries a non-empty decision-op tape.
+    plane = load_plane(planes[0])
+    assert len(plane.dops) > 0
 
 
 def test_runner_survives_invariant_tripping_plane(tmp_path):
@@ -338,9 +353,10 @@ def test_parallel_two_phase_matches_serial_with_mode_counts(tmp_path):
         modes = [e["mode"] for e in runner.events.of("cell_completed")]
         return {mode: modes.count(mode) for mode in set(modes)}
 
-    # 4 plane groups (2 eligible labels x 2 sizes): one recording each,
-    # the other rates replay; the switch-on-miss grid runs unfiltered.
-    assert mode_counts(serial) == {"recorded": 4, "replayed": 8, "full": 6}
+    # 6 plane groups (3 eligible labels x 2 sizes): one recording each,
+    # the other rates replay -- the switch-on-miss grid included, via
+    # its decision-op tape.
+    assert mode_counts(serial) == {"recorded": 6, "replayed": 12}
     assert mode_counts(par) == mode_counts(serial)
 
 
