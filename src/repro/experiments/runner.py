@@ -83,6 +83,14 @@ CACHE_SCHEMA = "rampage-cache/1"
 #: Suffix appended to a cache file that failed integrity validation.
 QUARANTINE_SUFFIX = ".corrupt"
 
+#: Subdirectory of the cache directory holding the sharded record files.
+SHARD_DIRNAME = "shards"
+
+#: How many leading hex digits of the cache key select a shard (2 ->
+#: up to 256 shards, so a million-record cache keeps directory scans
+#: and rsyncs bounded per shard).
+SHARD_PREFIX_LEN = 2
+
 GRID_BUILDERS: dict[str, Callable[[int, int], MachineParams]] = {
     "baseline": lambda rate, size: baseline_machine(rate, size),
     "rampage": lambda rate, size: rampage_machine(rate, size),
@@ -161,14 +169,59 @@ def decode_cache_entry(text: str) -> RunRecord:
         raise CacheIntegrityError(f"record payload incomplete: {exc}") from exc
 
 
+def shard_prefix(key: str) -> str:
+    """The shard a cache key lands in (its leading hex digits)."""
+    return key[:SHARD_PREFIX_LEN]
+
+
+def record_path(cache_dir: str | Path, key: str) -> Path:
+    """The canonical (sharded) on-disk location for ``key``'s record.
+
+    All new records commit here; the flat pre-shard layout
+    (``<cache>/<key>.json``) remains readable via :func:`find_record`.
+    """
+    return Path(cache_dir) / SHARD_DIRNAME / shard_prefix(key) / f"{key}.json"
+
+
+def legacy_record_path(cache_dir: str | Path, key: str) -> Path:
+    """Where a pre-shard cache committed ``key``'s record."""
+    return Path(cache_dir) / f"{key}.json"
+
+
+def find_record(cache_dir: str | Path, key: str) -> Path | None:
+    """Locate ``key``'s record, federating across cache layouts.
+
+    Checks the sharded layout first (where all writes go), then the
+    legacy flat layout, so a cache written by an earlier version keeps
+    serving hits.  Returns ``None`` when the key is in neither place.
+    """
+    for path in (
+        record_path(cache_dir, key),
+        legacy_record_path(cache_dir, key),
+    ):
+        if path.exists():
+            return path
+    return None
+
+
 def iter_cache_files(cache_dir: str | Path) -> Iterator[Path]:
-    """Every committed record file in ``cache_dir``, sorted by name."""
-    yield from sorted(Path(cache_dir).glob("*.json"))
+    """Every committed record file in ``cache_dir``, sorted by name.
+
+    Covers both layouts: the sharded ``shards/<prefix>/<key>.json``
+    tree and the legacy flat ``<key>.json`` files.
+    """
+    cache_dir = Path(cache_dir)
+    paths = list(cache_dir.glob("*.json"))
+    paths += cache_dir.glob(f"{SHARD_DIRNAME}/*/*.json")
+    yield from sorted(paths, key=lambda path: path.name)
 
 
 def iter_quarantined_files(cache_dir: str | Path) -> Iterator[Path]:
     """Every quarantined record file in ``cache_dir``, sorted by name."""
-    yield from sorted(Path(cache_dir).glob(f"*.json{QUARANTINE_SUFFIX}"))
+    cache_dir = Path(cache_dir)
+    paths = list(cache_dir.glob(f"*.json{QUARANTINE_SUFFIX}"))
+    paths += cache_dir.glob(f"{SHARD_DIRNAME}/*/*.json{QUARANTINE_SUFFIX}")
+    yield from sorted(paths, key=lambda path: path.name)
 
 
 @dataclass(frozen=True)
@@ -250,9 +303,16 @@ class Runner:
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
 
     def _cache_path(self, key: str) -> Path | None:
+        """Where a *new* record for ``key`` commits (sharded layout)."""
         if self.config.cache_dir is None:
             return None
-        return Path(self.config.cache_dir) / f"{key}.json"
+        return record_path(self.config.cache_dir, key)
+
+    def _find_cached(self, key: str) -> Path | None:
+        """Where an *existing* record lives, across both cache layouts."""
+        if self.config.cache_dir is None:
+            return None
+        return find_record(self.config.cache_dir, key)
 
     def _quarantine(self, key: str, path: Path, error: CacheIntegrityError) -> None:
         """Move a failed cache file aside and log the event."""
@@ -282,8 +342,8 @@ class Runner:
         if cached is not None:
             self.cache_stats.hits_memory += 1
             return cached
-        path = self._cache_path(key)
-        if path is None or not path.exists():
+        path = self._find_cached(key)
+        if path is None:
             return None
         try:
             text = path.read_text("utf-8")

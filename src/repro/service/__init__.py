@@ -7,6 +7,9 @@ The serving layer over the experiment engine (see ``docs/service.md``):
 * :mod:`repro.service.scheduler` -- dedups submitted cells against the
   cache and in-flight work, coalesces plane groups, dispatches to the
   parallel runner, fans progress out to subscribers.
+* :mod:`repro.service.fabric` -- lease-based multi-process workers
+  draining work groups from the shared journal
+  (``rampage-sim serve --fabric N``).
 * :mod:`repro.service.server` -- the stdlib asyncio HTTP daemon
   (``rampage-sim serve``).
 * :mod:`repro.service.client` -- typed client with jittered-backoff
@@ -14,6 +17,7 @@ The serving layer over the experiment engine (see ``docs/service.md``):
 """
 
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.fabric import WorkGroup, plan_groups, run_worker
 from repro.service.jobs import Job, JobSpec, JobStore, job_key, plan_cells
 from repro.service.scheduler import BackpressureError, SweepScheduler
 from repro.service.server import ServiceThread, SweepService, serve
@@ -28,7 +32,10 @@ __all__ = [
     "ServiceThread",
     "SweepService",
     "SweepScheduler",
+    "WorkGroup",
     "job_key",
     "plan_cells",
+    "plan_groups",
+    "run_worker",
     "serve",
 ]

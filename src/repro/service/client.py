@@ -85,9 +85,19 @@ class ServiceClient:
     # ------------------------------------------------------------------
 
     def backoff_delay(self, attempt: int, floor: float = 0.0) -> float:
-        """Full-jitter delay for retry ``attempt`` (0-based)."""
+        """Full-jitter delay for retry ``attempt`` (0-based).
+
+        Never returns 0: the jitter RNG landing near zero must not
+        turn a retry loop into a hot spin against a refusing server,
+        so the delay is floored at 5% of the attempt's ceiling.  A
+        caller-supplied ``floor`` (a server ``Retry-After`` hint) is
+        capped at ``max_backoff`` so a hostile or buggy hint cannot
+        park the client.
+        """
+        floor = min(max(0.0, float(floor)), self.max_backoff)
         ceiling = min(self.max_backoff, self.backoff * (2**attempt))
-        return max(floor, self._rng() * ceiling)
+        delay = max(floor, self._rng() * ceiling)
+        return max(delay, 0.05 * ceiling)
 
     def _request(
         self,

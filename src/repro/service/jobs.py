@@ -21,6 +21,28 @@ them as cache hits -- the journal only has to remember *that* the job
 was accepted, never simulation state.  A torn trailing line (``kill
 -9`` mid-append) is skipped, the same policy as
 :func:`repro.core.observe.read_events`.
+
+**Multi-worker leases (``rampage-job/2``).**  The journal doubles as
+the work ledger for the scale-out fabric
+(:mod:`repro.service.fabric`): worker processes *lease* whole work
+groups (one miss-plane group, or one ungrouped cell) before executing
+them::
+
+    {"op": "lease",   "id": ..., "group": ..., "worker": ..., "expires_ts": ...}
+    {"op": "release", "id": ..., "group": ..., "worker": ...}
+
+A lease carries an expiry; a worker that dies mid-group (``kill -9``)
+simply stops renewing and any other worker reclaims the group once the
+expiry passes -- the run-record cache's atomic commits make the retry
+byte-identical.  Claims are arbitrated with an ``flock`` on a sibling
+lock file, so two processes can never append conflicting leases for
+one group.  v1 journals (no lease ops) replay unchanged: recovery
+ignores ops it has already applied and drops leases that have expired.
+
+Because several processes append to one journal, every store keeps a
+byte offset and :meth:`JobStore.tail` replays lines appended by *other*
+processes (and idempotently re-applies its own), so in-memory state
+always converges to a pure in-order replay of the file.
 """
 
 from __future__ import annotations
@@ -29,8 +51,14 @@ import hashlib
 import json
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from pathlib import Path
+
+try:  # pragma: no cover - Unix-only; the fabric degrades without it
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
 
 from repro.core.errors import ConfigurationError
 from repro.core.observe import EventLog
@@ -38,9 +66,19 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import GRID_BUILDERS, Runner
 
 #: Journal schema tag, embedded in every line for forward compatibility.
-JOURNAL_SCHEMA = "rampage-job/1"
+#: v2 adds the ``lease``/``release`` ops; v1 journals replay unchanged.
+JOURNAL_SCHEMA = "rampage-job/2"
+
+#: Schemas :meth:`JobStore.recover` accepts.
+COMPATIBLE_SCHEMAS = frozenset({"rampage-job/1", JOURNAL_SCHEMA})
 
 JOURNAL_NAME = "journal.jsonl"
+
+#: Sibling lock file arbitrating cross-process journal appends/claims.
+JOURNAL_LOCK_NAME = "journal.lock"
+
+#: Default seconds a work-group lease stays exclusive without renewal.
+DEFAULT_LEASE_TTL_S = 60.0
 
 #: Job lifecycle states.
 QUEUED = "queued"
@@ -90,10 +128,15 @@ class JobSpec:
             )
         labels = payload.get("labels", DEFAULT_LABELS)
         if isinstance(labels, str):
-            labels = [token for token in labels.split(",") if token]
+            labels = labels.split(",")
+        # Tolerate surrounding whitespace however the labels arrived
+        # ("baseline, rampage" is a label list, not an unknown grid).
+        labels = [
+            token for token in (str(label).strip() for label in labels) if token
+        ]
         try:
             return cls(
-                labels=tuple(str(label) for label in labels),
+                labels=tuple(labels),
                 scale=float(payload.get("scale", base.scale)),
                 slice_refs=int(payload.get("slice_refs", base.slice_refs)),
                 issue_rates=tuple(
@@ -216,6 +259,8 @@ class Job:
     done: int = 0
     modes: dict[str, int] = field(default_factory=dict)
     done_keys: set[str] = field(default_factory=set)
+    #: Active work-group leases: group id -> {worker, expires_ts}.
+    leases: dict[str, dict] = field(default_factory=dict)
     error: str | None = None
     submitted_ts: float = 0.0
     updated_ts: float = 0.0
@@ -237,6 +282,7 @@ class Job:
             "total": self.total,
             "done": self.done,
             "modes": dict(self.modes),
+            "leases": {group: dict(info) for group, info in self.leases.items()},
             "error": self.error,
             "submitted_ts": self.submitted_ts,
             "updated_ts": self.updated_ts,
@@ -250,26 +296,87 @@ class JobStore:
         self.state_dir = Path(state_dir)
         self.state_dir.mkdir(parents=True, exist_ok=True)
         self.path = self.state_dir / JOURNAL_NAME
+        self.lock_path = self.state_dir / JOURNAL_LOCK_NAME
         self._clock = clock
         self._lock = threading.RLock()
+        self._flock_handle = None
+        self._flock_depth = 0
         self._jobs: dict[str, Job] = {}
         self._order: list[str] = []
+        #: Journal bytes already replayed into memory; :meth:`tail`
+        #: applies everything beyond it (other processes' appends).
+        self._offset = 0
+        #: Foreign entries applied by a mutator's catch-up, owed to the
+        #: next :meth:`tail` call.
+        self._pending_tail: list[dict] = []
 
     # ------------------------------------------------------------------
     # Journal plumbing
     # ------------------------------------------------------------------
 
-    def _append(self, entry: dict) -> None:
-        """Append one journal line; callers hold the store lock.
+    @contextmanager
+    def _journal_lock(self):
+        """Cross-process mutual exclusion over journal appends/claims.
+
+        An ``flock`` on a sibling lock file (reentrant within the
+        store, which already holds its thread lock).  Without ``fcntl``
+        (non-Unix) this degrades to the thread lock alone -- correct
+        for the single-process daemon, unsupported for multi-process
+        fabrics.
+        """
+        if fcntl is None:
+            yield
+            return
+        if self._flock_depth == 0:
+            self._flock_handle = open(self.lock_path, "a+b")
+            fcntl.flock(self._flock_handle.fileno(), fcntl.LOCK_EX)
+        self._flock_depth += 1
+        try:
+            yield
+        finally:
+            self._flock_depth -= 1
+            if self._flock_depth == 0 and self._flock_handle is not None:
+                fcntl.flock(self._flock_handle.fileno(), fcntl.LOCK_UN)
+                self._flock_handle.close()
+                self._flock_handle = None
+
+    def _journal(self, entry: dict) -> dict:
+        """Append one journal line and apply it; callers hold the lock.
 
         The line is flushed before the method returns, so a submission
         is durable before the server acknowledges it (the *commit
-        before ack* the crash-recovery contract needs).
+        before ack* the crash-recovery contract needs).  The in-memory
+        effect goes through :meth:`_apply` -- the same code recovery
+        and :meth:`tail` run -- so live state can never diverge from an
+        in-order replay of the journal.
         """
         entry = {"schema": JOURNAL_SCHEMA, "ts": round(self._clock(), 6), **entry}
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(entry) + "\n")
-            handle.flush()
+        blob = (json.dumps(entry) + "\n").encode("utf-8")
+        with self._journal_lock():
+            self._catch_up()
+            with open(self.path, "ab") as handle:
+                start = handle.tell()
+                if start > self._offset:
+                    # A crashed writer left a torn fragment; seal it so
+                    # our line starts fresh (replay skips the bad line).
+                    handle.write(b"\n")
+                    start += 1
+                handle.write(blob)
+                handle.flush()
+            # Step the offset over our own line: tail() reports only
+            # entries this store has not already applied.
+            self._offset = start + len(blob)
+        self._apply(entry)
+        return entry
+
+    def _catch_up(self) -> None:
+        """Fold other processes' appends in before acting on state.
+
+        Entries applied here are remembered so the next :meth:`tail`
+        still reports them -- a mutator catching up must not swallow
+        events the daemon's broadcast loop is waiting for.
+        """
+        self._pending_tail.extend(self._replay_from_offset())
 
     def _apply(self, entry: dict) -> None:
         """Replay one journal line into the in-memory registry."""
@@ -303,11 +410,60 @@ class JobStore:
                 job.done += 1
                 mode = entry.get("mode", "full")
                 job.modes[mode] = job.modes.get(mode, 0) + 1
+        elif op == "lease":
+            group = entry.get("group")
+            if group:
+                job.leases[str(group)] = {
+                    "worker": str(entry.get("worker", "")),
+                    "expires_ts": float(entry.get("expires_ts", 0.0)),
+                }
+        elif op == "release":
+            group = entry.get("group")
+            if group is not None:
+                held = job.leases.get(str(group))
+                if held is not None and held["worker"] == str(
+                    entry.get("worker", "")
+                ):
+                    job.leases.pop(str(group), None)
         elif op == "done":
             job.status = COMPLETED
+            job.error = None
+            job.leases.clear()
         elif op == "fail":
             job.status = FAILED
             job.error = entry.get("error")
+            job.leases.clear()
+
+    def _replay_from_offset(self) -> list[dict]:
+        """Apply journal lines beyond ``self._offset``; callers hold the lock.
+
+        Only complete (newline-terminated) lines advance the offset, so
+        a line another process is mid-append never splits.  Returns the
+        entries applied, in file order.
+        """
+        applied: list[dict] = []
+        if not self.path.exists():
+            return applied
+        with open(self.path, "rb") as handle:
+            handle.seek(self._offset)
+            blob = handle.read()
+        end = blob.rfind(b"\n")
+        if end < 0:
+            return applied
+        chunk = blob[: end + 1]
+        self._offset += len(chunk)
+        for line in chunk.decode("utf-8", "replace").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn or foreign line must not poison replay
+            if isinstance(entry, dict):
+                self._apply(entry)
+                applied.append(entry)
+        return applied
 
     def recover(self) -> list[Job]:
         """Replay the journal; returns jobs that need to resume.
@@ -315,26 +471,64 @@ class JobStore:
         Jobs left ``queued`` or ``running`` by a crash come back as
         ``queued`` -- their completed cells are cache hits when the
         scheduler re-executes them, so nothing is simulated twice.
+        Resubmitted-after-failure jobs replay to exactly one queued job
+        (the later ``submit`` op supersedes the failed incarnation; the
+        job id appears in the queue once).  Leases left by crashed
+        workers are dropped once expired, making their groups
+        claimable again.
         """
         with self._lock:
-            if self.path.exists():
-                for line in self.path.read_text("utf-8").splitlines():
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        entry = json.loads(line)
-                    except json.JSONDecodeError:
-                        continue  # torn trailing line from a crash
-                    if isinstance(entry, dict):
-                        self._apply(entry)
+            with self._journal_lock():
+                self._repair_torn_tail()
+                self._replay_from_offset()
+            now = self._clock()
             resumable = []
             for job_id in self._order:
                 job = self._jobs[job_id]
+                job.leases = {
+                    group: info
+                    for group, info in job.leases.items()
+                    if info["expires_ts"] > now
+                }
                 if job.status in ACTIVE_STATES:
                     job.status = QUEUED
                     resumable.append(job)
             return resumable
+
+    def _repair_torn_tail(self) -> None:
+        """Newline-terminate a torn final line (``kill -9`` mid-append).
+
+        Without the repair a later append would concatenate onto the
+        torn fragment and corrupt *two* entries; with it the fragment
+        becomes one complete unparseable line that replay skips.
+        """
+        if not self.path.exists():
+            return
+        with open(self.path, "rb") as handle:
+            handle.seek(0, 2)
+            size = handle.tell()
+            if size == 0:
+                return
+            handle.seek(size - 1)
+            last = handle.read(1)
+        if last != b"\n":
+            with open(self.path, "ab") as handle:
+                handle.write(b"\n")
+                handle.flush()
+
+    def tail(self) -> list[dict]:
+        """Apply journal lines appended since the last replay.
+
+        The cross-process visibility primitive: fabric workers and the
+        daemon share one journal, and each process calls ``tail()`` to
+        fold the others' appends into its in-memory registry.  Its own
+        lines are re-applied harmlessly (every op is idempotent under
+        in-order replay).  Returns the newly applied entries.
+        """
+        with self._lock:
+            pending = self._pending_tail
+            self._pending_tail = []
+            return pending + self._replay_from_offset()
 
     # ------------------------------------------------------------------
     # Job lifecycle
@@ -352,61 +546,106 @@ class JobStore:
             existing = self._jobs.get(key)
             if existing is not None and existing.status != FAILED:
                 return existing, False
-            now = self._clock()
-            job = Job(
-                id=key,
-                spec=spec,
-                cells=[cell.as_dict() for cell in cells],
-                submitted_ts=now,
-                updated_ts=now,
+            self._journal(
+                {
+                    "op": "submit",
+                    "id": key,
+                    "spec": spec.as_dict(),
+                    "cells": [cell.as_dict() for cell in cells],
+                }
             )
-            if key not in self._jobs:
-                self._order.append(key)
-            self._jobs[key] = job
-            self._append(
-                {"op": "submit", "id": key, "spec": spec.as_dict(),
-                 "cells": job.cells}
-            )
-            return job, True
+            return self._jobs[key], True
 
-    def mark_running(self, job_id: str) -> None:
+    def mark_running(self, job_id: str) -> Job:
         with self._lock:
-            job = self._jobs[job_id]
-            job.status = RUNNING
-            job.updated_ts = self._clock()
-            self._append({"op": "start", "id": job_id})
+            self._journal({"op": "start", "id": job_id})
+            return self._jobs[job_id]
 
-    def record_cell(self, job_id: str, key: str, mode: str) -> Job:
-        """Journal one completed cell; de-duplicates by cell key."""
+    def record_cell(self, job_id: str, key: str, mode: str, **extra) -> Job:
+        """Journal one completed cell; de-duplicates by cell key.
+
+        ``extra`` fields (label, wall_s, ...) ride along on the journal
+        line so tailing processes can reconstruct progress events.
+        """
         with self._lock:
             job = self._jobs[job_id]
             if key not in job.done_keys:
-                job.done_keys.add(key)
-                job.done += 1
-                job.modes[mode] = job.modes.get(mode, 0) + 1
-                job.updated_ts = self._clock()
-                self._append(
-                    {"op": "cell", "id": job_id, "key": key, "mode": mode}
+                self._journal(
+                    {"op": "cell", "id": job_id, "key": key, "mode": mode,
+                     **extra}
                 )
             return job
 
     def mark_completed(self, job_id: str) -> Job:
         with self._lock:
-            job = self._jobs[job_id]
-            job.status = COMPLETED
-            job.error = None
-            job.updated_ts = self._clock()
-            self._append({"op": "done", "id": job_id})
-            return job
+            self._journal({"op": "done", "id": job_id})
+            return self._jobs[job_id]
 
     def mark_failed(self, job_id: str, error: str) -> Job:
         with self._lock:
-            job = self._jobs[job_id]
-            job.status = FAILED
-            job.error = error
-            job.updated_ts = self._clock()
-            self._append({"op": "fail", "id": job_id, "error": error})
-            return job
+            self._journal({"op": "fail", "id": job_id, "error": error})
+            return self._jobs[job_id]
+
+    # ------------------------------------------------------------------
+    # Work-group leases (the multi-worker fabric's claim protocol)
+    # ------------------------------------------------------------------
+
+    def claim_group(
+        self,
+        job_id: str,
+        group: str,
+        worker: str,
+        *,
+        ttl: float = DEFAULT_LEASE_TTL_S,
+    ) -> bool:
+        """Try to lease one work group for ``worker``; True on success.
+
+        The decision happens under the cross-process ``flock`` *after*
+        tailing the journal, so the check sees every lease any other
+        process has already committed.  A group is claimable when it
+        has no lease, its lease expired, or ``worker`` already holds it
+        (renewal).
+        """
+        with self._lock:
+            with self._journal_lock():
+                self._catch_up()
+                job = self._jobs.get(job_id)
+                if job is None or job.terminal:
+                    return False
+                held = job.leases.get(group)
+                now = self._clock()
+                if (
+                    held is not None
+                    and held["worker"] != worker
+                    and held["expires_ts"] > now
+                ):
+                    return False
+                self._journal(
+                    {
+                        "op": "lease",
+                        "id": job_id,
+                        "group": group,
+                        "worker": worker,
+                        "expires_ts": round(now + ttl, 6),
+                    }
+                )
+                return True
+
+    def release_group(self, job_id: str, group: str, worker: str) -> None:
+        """Release ``worker``'s lease on a group (no-op if not held)."""
+        with self._lock:
+            with self._journal_lock():
+                self._catch_up()
+                job = self._jobs.get(job_id)
+                if job is None:
+                    return
+                held = job.leases.get(group)
+                if held is None or held["worker"] != worker:
+                    return
+                self._journal(
+                    {"op": "release", "id": job_id, "group": group,
+                     "worker": worker}
+                )
 
     # ------------------------------------------------------------------
     # Queries

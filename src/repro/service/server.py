@@ -40,6 +40,7 @@ from __future__ import annotations
 import asyncio
 import functools
 import json
+import math
 import queue
 import re
 import signal
@@ -87,6 +88,7 @@ class SweepService:
         workers: int | None = None,
         queue_limit: int = 8,
         state_dir: str | Path | None = None,
+        fabric: int = 0,
     ) -> None:
         self.config = config if config is not None else ExperimentConfig.from_env()
         if self.config.cache_dir is None:
@@ -103,7 +105,11 @@ class SweepService:
         )
         self.store = JobStore(state)
         self.scheduler = SweepScheduler(
-            self.store, self.config, workers=workers, queue_limit=queue_limit
+            self.store,
+            self.config,
+            workers=workers,
+            queue_limit=queue_limit,
+            fabric=fabric,
         )
         self._server: asyncio.base_events.Server | None = None
         self._closing = False
@@ -316,7 +322,11 @@ class SweepService:
                 writer,
                 429,
                 {"error": str(exc), "retry_after_s": exc.retry_after},
-                extra_headers={"Retry-After": str(int(exc.retry_after) or 1)},
+                # Ceil, never truncate: a 0.5 s hint must not become
+                # "Retry-After: 0" and invite an instant hot retry.
+                extra_headers={
+                    "Retry-After": str(max(1, math.ceil(exc.retry_after)))
+                },
             )
             return
         await self._respond(
@@ -471,6 +481,7 @@ def serve(
     workers: int | None = None,
     queue_limit: int = 8,
     state_dir: str | Path | None = None,
+    fabric: int = 0,
     ready=None,
 ) -> None:
     """Blocking entry point used by ``rampage-sim serve``."""
@@ -481,6 +492,7 @@ def serve(
         workers=workers,
         queue_limit=queue_limit,
         state_dir=state_dir,
+        fabric=fabric,
     )
     try:
         asyncio.run(service.run(ready=ready))

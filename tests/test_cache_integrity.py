@@ -19,9 +19,12 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import (
     CACHE_SCHEMA,
     QUARANTINE_SUFFIX,
+    SHARD_DIRNAME,
     Runner,
     decode_cache_entry,
     encode_cache_entry,
+    iter_cache_files,
+    iter_quarantined_files,
     record_checksum,
 )
 from repro.systems.factory import baseline_machine
@@ -46,7 +49,7 @@ def seeded_cache(tmp_path):
     """A cache dir holding one committed record; returns (dir, path, record)."""
     runner = Runner(config(tmp_path))
     record = runner.record("baseline", PARAMS)
-    paths = list(tmp_path.glob("*.json"))
+    paths = list(iter_cache_files(tmp_path))
     assert len(paths) == 1
     return tmp_path, paths[0], record
 
@@ -133,7 +136,7 @@ def test_corrupt_file_is_miss_quarantine_and_recompute(tmp_path, corrupt):
     # The run survived and recomputed the exact same record.
     assert record == original
     # The bad bytes were moved aside, and a fresh commit replaced them.
-    corrupt_files = list(cache_dir.glob(f"*{QUARANTINE_SUFFIX}"))
+    corrupt_files = list(iter_quarantined_files(cache_dir))
     assert len(corrupt_files) == 1
     assert corrupt_files[0].name == path.name + QUARANTINE_SUFFIX
     assert decode_cache_entry(path.read_text("utf-8")) == original
@@ -165,10 +168,12 @@ def test_legacy_bare_record_is_quarantined(tmp_path):
 def test_store_leaves_no_temp_files(tmp_path):
     cache_dir, path, _ = seeded_cache(tmp_path)
     names = {item.name for item in cache_dir.iterdir()}
-    # The materialized trace plane and the miss planes live alongside
-    # the records by design; anything else (e.g. an orphaned temp file)
-    # is a leak.
-    assert names == {path.name, TRACE_DIRNAME, PLANE_DIRNAME}
+    # Records live in the sharded layout; the materialized trace plane
+    # and the miss planes live alongside by design.  Anything else
+    # (e.g. an orphaned temp file) is a leak.
+    assert names == {SHARD_DIRNAME, TRACE_DIRNAME, PLANE_DIRNAME}
+    shard_dir = cache_dir / SHARD_DIRNAME / path.parent.name
+    assert {item.name for item in shard_dir.iterdir()} == {path.name}
 
 
 def test_commit_is_replace_not_append(tmp_path, monkeypatch):
@@ -213,7 +218,7 @@ def test_concurrent_style_interleaving_is_safe(tmp_path):
     assert record_a == record_b
     assert b.cache_stats.hits_disk == 1
     # b re-committing (e.g. after a's file was corrupted) is also safe.
-    list(tmp_path.glob("*.json"))[0].write_text("torn", "utf-8")
+    next(iter_cache_files(tmp_path)).write_text("torn", "utf-8")
     assert a.record("baseline", PARAMS) == record_a  # memory hit, unaffected
     fresh = fresh_runner(tmp_path)
     assert fresh.record("baseline", PARAMS) == record_a

@@ -3,7 +3,7 @@
 
 from repro.cli import EXPERIMENTS, main
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import Runner
+from repro.experiments.runner import Runner, iter_cache_files, iter_quarantined_files
 from repro.systems.factory import rampage_machine
 from repro.trace import filter as missplane
 from repro.trace.filter import MANIFEST_NAME, PLANE_DIRNAME
@@ -131,7 +131,7 @@ def test_sweep_no_cache_bypasses_the_store(tmp_path, capsys, monkeypatch):
     )
     assert code == 0
     assert "cache: miss" in capsys.readouterr().out
-    assert list(tmp_path.glob("*.json")) == []
+    assert list(iter_cache_files(tmp_path)) == []
 
 
 def test_cache_recovery_end_to_end(tmp_path, capsys, monkeypatch):
@@ -152,13 +152,13 @@ def test_cache_recovery_end_to_end(tmp_path, capsys, monkeypatch):
     ]
     assert main(sweep) == 0
     capsys.readouterr()
-    path = next(tmp_path.glob("*.json"))
+    path = next(iter_cache_files(tmp_path))
     text = path.read_text("utf-8")
     path.write_text(text[: len(text) // 2], "utf-8")  # torn write
 
     assert main(sweep) == 0  # survives, recomputes
     assert "cache: miss" in capsys.readouterr().out
-    assert len(list(tmp_path.glob("*.json.corrupt"))) == 1
+    assert len(list(iter_quarantined_files(tmp_path))) == 1
 
     assert main(["cache", "verify", "--dir", str(tmp_path)]) == 1
     out = capsys.readouterr().out
@@ -181,7 +181,7 @@ def test_cache_verify_detects_in_place_corruption(tmp_path, capsys, monkeypatch)
               "--slice-refs", "2000"]) == 0
     )
     capsys.readouterr()
-    next(tmp_path.glob("*.json")).write_text("garbage", "utf-8")
+    next(iter_cache_files(tmp_path)).write_text("garbage", "utf-8")
     assert main(["cache", "verify", "--dir", str(tmp_path)]) == 1
     assert "CORRUPT" in capsys.readouterr().out
 
@@ -209,7 +209,7 @@ def test_cache_purge_all(tmp_path, capsys, monkeypatch):
     capsys.readouterr()
     assert main(["cache", "purge", "--dir", str(tmp_path)]) == 0
     assert "purged 1 cache entries" in capsys.readouterr().out
-    assert list(tmp_path.glob("*.json")) == []
+    assert list(iter_cache_files(tmp_path)) == []
 
 
 SWEEP = [

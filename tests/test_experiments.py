@@ -10,7 +10,7 @@ import pytest
 from repro.experiments import ExperimentConfig, Runner
 from repro.experiments import figure4, figure5, table1, table2, table3, table4, table5
 from repro.experiments.figures23 import run_figure2, run_figure3
-from repro.experiments.runner import GRID_BUILDERS
+from repro.experiments.runner import GRID_BUILDERS, iter_cache_files
 
 
 @pytest.fixture(scope="module")
@@ -58,7 +58,7 @@ class TestRunnerInfra:
             cache_dir=tmp_path,
         )
         a = Runner(config).grid("baseline").cell(10**9, 1024)
-        assert list(tmp_path.glob("*.json"))
+        assert list(iter_cache_files(tmp_path))
         b = Runner(config).grid("baseline").cell(10**9, 1024)
         assert a == b
 

@@ -18,7 +18,7 @@ import pytest
 from repro.core.errors import CacheIntegrityError
 from repro.core.observe import EventLog
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import Runner
+from repro.experiments.runner import Runner, iter_cache_files
 from repro.systems.simulator import Simulator
 from repro.trace import materialize
 from repro.trace.benchmarks import table2_catalog
@@ -396,8 +396,8 @@ def test_materialized_runner_cache_bytes_identical_to_legacy(tmp_path):
     for rate in legacy.config.issue_rates:
         for size in legacy.config.sizes:
             assert plane_grid.cell(rate, size) == legacy_grid.cell(rate, size)
-    legacy_files = sorted((tmp_path / "legacy").glob("*.json"))
-    plane_files = sorted((tmp_path / "plane").glob("*.json"))
+    legacy_files = sorted(iter_cache_files(tmp_path / "legacy"))
+    plane_files = sorted(iter_cache_files(tmp_path / "plane"))
     assert [p.name for p in legacy_files] == [p.name for p in plane_files]
     for a, b in zip(legacy_files, plane_files):
         assert a.read_bytes() == b.read_bytes()

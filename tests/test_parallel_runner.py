@@ -22,7 +22,7 @@ from repro.experiments.parallel import (
     _simulate_cell_timed,
 )
 from repro.experiments.replication import replicate
-from repro.experiments.runner import Runner
+from repro.experiments.runner import Runner, iter_cache_files
 from repro.systems.factory import baseline_machine
 from repro.trace import materialize
 
@@ -48,7 +48,7 @@ def config(cache_dir):
 
 
 def cache_files(directory):
-    return sorted(Path(directory).glob("*.json"))
+    return sorted(iter_cache_files(directory))
 
 
 def test_parallel_matches_serial_byte_for_byte(tmp_path):

@@ -422,3 +422,106 @@ def test_graceful_stop_leaves_queued_jobs_resumable(tmp_path):
     resumed = store2.recover()
     assert [item.id for item in resumed] == [job.id]
     assert store2.get(job.id).status == QUEUED
+
+
+# ----------------------------------------------------------------------
+# PR-7 concurrency and input-handling regressions
+# ----------------------------------------------------------------------
+
+
+def test_from_request_strips_label_whitespace(tmp_path):
+    base = base_config(tmp_path)
+    # "baseline, rampage" is a label list with breathing room, not an
+    # unknown grid called " rampage".
+    parsed = JobSpec.from_request({"labels": "baseline, rampage"}, base)
+    assert parsed.labels == ("baseline", "rampage")
+    parsed = JobSpec.from_request(
+        {"labels": ["  baseline ", "rampage", " "]}, base
+    )
+    assert parsed.labels == ("baseline", "rampage")
+    with pytest.raises(ConfigurationError, match="at least one"):
+        JobSpec.from_request({"labels": " , ,"}, base)
+
+
+def test_dedup_preview_is_safe_against_concurrent_execution(tmp_path):
+    """Hammer submit/preview concurrently: the preview must snapshot
+    ``_inflight`` under the scheduler lock, never iterate the live set
+    the worker thread is swapping."""
+    store, scheduler = make_scheduler(tmp_path)
+    cells = plan_cells(spec(), scheduler.config)
+    errors = []
+    done = threading.Event()
+
+    def hammer():
+        while not done.is_set():
+            try:
+                preview = scheduler.dedup_preview(cells)
+            except RuntimeError as exc:  # set changed size during iteration
+                errors.append(exc)
+                return
+            total = (
+                preview["cached"] + preview["inflight"] + preview["fresh"]
+            )
+            if total != preview["total"]:
+                errors.append(AssertionError(preview))
+                return
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    scheduler.start()
+    try:
+        job, _ = scheduler.submit(spec())
+        scheduler.wait(job.id, timeout=120)
+    finally:
+        done.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        scheduler.stop(timeout=30)
+    assert errors == []
+
+
+def test_failed_resubmit_recovers_to_exactly_one_queued_job(tmp_path):
+    """A journal holding submit/fail/submit for one id replays to one
+    queued job -- no double-queue, no duplicate id in the registry."""
+    base = base_config(tmp_path / "cache")
+    first = JobStore(tmp_path / "state")
+    cells = plan_cells(spec(), base)
+    job, _ = first.submit(spec(), cells)
+    first.mark_running(job.id)
+    first.record_cell(job.id, cells[0].key, "full")
+    first.mark_failed(job.id, "boom")
+    retried, created = first.submit(spec(), cells)
+    assert created and retried.id == job.id
+    assert journal_ops(first).count("submit") == 2
+
+    second = JobStore(tmp_path / "state")
+    resumed = second.recover()
+    assert [item.id for item in resumed] == [job.id]  # exactly once
+    assert [item.id for item in second.jobs()] == [job.id]
+    recovered = second.get(job.id)
+    assert recovered.status == QUEUED
+    assert recovered.error is None
+    # The failed incarnation's progress was superseded by the resubmit.
+    assert recovered.done == 0
+
+    # The scheduler re-queues it exactly once too: no duplicate
+    # execution, no duplicate SSE terminal event.
+    scheduler = SweepScheduler(
+        JobStore(tmp_path / "state"),
+        base_config(tmp_path / "cache"),
+        workers=1,
+    )
+    channel = scheduler.subscribe(job.id)
+    resumed = scheduler.start()
+    try:
+        assert [item.id for item in resumed] == [job.id]
+        final = scheduler.wait(job.id, timeout=120)
+        assert final.status == COMPLETED
+    finally:
+        scheduler.stop(timeout=30)
+    events = []
+    while not channel.empty():
+        events.append(channel.get_nowait()["event"])
+    assert events.count("job_completed") == 1
+    assert events.count("job_running") == 1

@@ -16,7 +16,7 @@ import pytest
 from repro.cli import main
 from repro.core.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import Runner
+from repro.experiments.runner import Runner, iter_cache_files
 from repro.service import ServiceClient, ServiceError, ServiceThread, SweepService
 from repro.trace import materialize
 
@@ -101,7 +101,7 @@ def test_end_to_end_submit_watch_fetch_byte_identical(service, tmp_path):
 
     serial_files = {
         path.name: path.read_bytes()
-        for path in Path(tmp_path / "serial").glob("*.json")
+        for path in iter_cache_files(tmp_path / "serial")
     }
     for cell in manifest["records"]:
         fetched = client.fetch_record(cell["key"])
@@ -209,7 +209,16 @@ def test_client_backoff_is_jittered_and_capped():
     assert client.backoff_delay(0) == pytest.approx(0.25)
     assert client.backoff_delay(1) == pytest.approx(0.5)
     assert client.backoff_delay(10) == pytest.approx(1.0)  # capped at 2.0*rng
-    assert client.backoff_delay(0, floor=3.0) == 3.0
+    # A server Retry-After hint is honoured but capped at max_backoff.
+    assert client.backoff_delay(0, floor=3.0) == pytest.approx(2.0)
+    assert client.backoff_delay(0, floor=0.3) == pytest.approx(0.3)
+    # Jitter landing at zero must not produce a hot 0.0-delay loop.
+    frozen = ServiceClient(
+        "http://127.0.0.1:1", retries=0, backoff=0.5, max_backoff=2.0,
+        rng=lambda: 0.0,
+    )
+    assert frozen.backoff_delay(0) == pytest.approx(0.05 * 0.5)
+    assert frozen.backoff_delay(10) == pytest.approx(0.05 * 2.0)
 
 
 def test_client_retries_connection_errors():
@@ -291,14 +300,12 @@ def test_cli_submit_status_watch_fetch(service, tmp_path, capsys):
     out_dir = tmp_path / "fetched"
     assert main(["fetch", "--url", url, job_id, "--out", str(out_dir)]) == 0
     fetched = sorted(path.name for path in out_dir.glob("*.json"))
-    cached = sorted(
-        path.name for path in (svc.config.cache_dir).glob("*.json")
-    )
-    assert fetched == cached
+    cached_paths = {
+        path.name: path for path in iter_cache_files(svc.config.cache_dir)
+    }
+    assert fetched == sorted(cached_paths)
     for name in fetched:
-        assert (out_dir / name).read_bytes() == (
-            svc.config.cache_dir / name
-        ).read_bytes()
+        assert (out_dir / name).read_bytes() == cached_paths[name].read_bytes()
 
 
 def test_cli_service_errors_exit_nonzero(capsys):
@@ -306,3 +313,69 @@ def test_cli_service_errors_exit_nonzero(capsys):
     # reports a failure exit code instead of a traceback.
     assert main(["status", "--url", "http://127.0.0.1:1"]) == 1
     assert "error:" in capsys.readouterr().err
+
+
+def test_retry_after_hint_is_ceiled_never_truncated(tmp_path):
+    """A fractional backpressure hint must round *up*: truncating 0.4 s
+    to "Retry-After: 0" invites an instant hot retry."""
+    svc = SweepService(
+        config(tmp_path / "cache"), port=0, workers=1, queue_limit=0
+    )
+    thread = ServiceThread(svc)
+    url = thread.start()
+    try:
+        for hint, header in ((0.4, "1"), (1.0, "1"), (1.2, "2")):
+            svc.scheduler.retry_after = hint
+            request = urllib.request.Request(
+                url + "/v1/jobs", data=b"{}", method="POST",
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 429
+            assert excinfo.value.headers.get("Retry-After") == header
+            body = json.loads(excinfo.value.read().decode("utf-8"))
+            assert body["retry_after_s"] == hint  # exact hint in the JSON
+    finally:
+        thread.stop()
+
+
+def test_fabric_daemon_serves_byte_identical_records(tmp_path):
+    """``serve --fabric 2``: worker processes lease groups from the
+    journal, the daemon bridges their progress to SSE, and the fetched
+    records match a serial runner byte for byte."""
+    svc = SweepService(
+        config(tmp_path / "cache"), port=0, queue_limit=4, fabric=2
+    )
+    thread = ServiceThread(svc)
+    url = thread.start()
+    try:
+        client = ServiceClient(url)
+        job = client.submit({"labels": list(LABELS)})
+        events = []
+        final = client.wait(
+            job["id"], timeout=300,
+            on_event=lambda name, p: events.append((name, p)),
+        )
+        assert final["status"] == "completed"
+        assert final["done"] == final["total"] == 4
+        assert final["leases"] == {}
+        cell_events = [p for name, p in events if name == "cell_completed"]
+        assert len(cell_events) == 4
+        assert [p["done"] for p in cell_events] == [1, 2, 3, 4]
+        terminal = [name for name, _ in events if name == "job_completed"]
+        assert len(terminal) == 1  # no duplicate terminal broadcast
+
+        serial = Runner(config(tmp_path / "serial"))
+        for label in LABELS:
+            serial.grid(label)
+        serial_files = {
+            path.name: path.read_bytes()
+            for path in iter_cache_files(tmp_path / "serial")
+        }
+        for cell in client.records(job["id"])["records"]:
+            assert cell["present"]
+            fetched = client.fetch_record(cell["key"])
+            assert fetched == serial_files[f"{cell['key']}.json"]
+    finally:
+        thread.stop()

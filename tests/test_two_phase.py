@@ -21,7 +21,7 @@ from repro.core.observe import EventLog
 from repro.core.params import RambusParams
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.parallel import ParallelRunner
-from repro.experiments.runner import Runner
+from repro.experiments.runner import Runner, iter_cache_files
 from repro.systems.factory import (
     aggressive_l1,
     baseline_machine,
@@ -276,8 +276,8 @@ def test_runner_two_phase_cache_bytes_identical_to_single_phase(tmp_path):
     for label in ("baseline", "rampage"):
         single.grid(label)
         two.grid(label)
-    a = sorted((tmp_path / "single").glob("*.json"))
-    b = sorted((tmp_path / "two").glob("*.json"))
+    a = sorted(iter_cache_files(tmp_path / "single"))
+    b = sorted(iter_cache_files(tmp_path / "two"))
     assert [p.name for p in a] == [p.name for p in b]
     for pa, pb in zip(a, b):
         assert pa.read_bytes() == pb.read_bytes()
@@ -343,8 +343,8 @@ def test_parallel_two_phase_matches_serial_with_mode_counts(tmp_path):
     par = ParallelRunner(config(tmp_path / "par", **cfg_kwargs), workers=2)
     assert par.prefetch(("baseline", "rampage", "rampage_som")) == 18
 
-    a = sorted((tmp_path / "serial").glob("*.json"))
-    b = sorted((tmp_path / "par").glob("*.json"))
+    a = sorted(iter_cache_files(tmp_path / "serial"))
+    b = sorted(iter_cache_files(tmp_path / "par"))
     assert [p.name for p in a] == [p.name for p in b]
     for pa, pb in zip(a, b):
         assert pa.read_bytes() == pb.read_bytes()

@@ -40,7 +40,7 @@ from repro.bench import (  # noqa: E402
     SWEEP_SLICE_REFS,
 )
 from repro.experiments.config import ExperimentConfig  # noqa: E402
-from repro.experiments.runner import Runner  # noqa: E402
+from repro.experiments.runner import Runner, iter_cache_files  # noqa: E402
 from repro.service import ServiceClient  # noqa: E402
 
 READY_TIMEOUT_S = 30
@@ -123,7 +123,7 @@ def serial_ground_truth(work_dir: Path) -> dict[str, bytes]:
     for label in SWEEP_LABELS:
         runner.grid(label)
     return {
-        path.stem: path.read_bytes() for path in serial_cache.glob("*.json")
+        path.stem: path.read_bytes() for path in iter_cache_files(serial_cache)
     }
 
 
