@@ -42,8 +42,18 @@ event-filtered and timing-decoupled execution paths.  CI uses it as a
 smoke gate so none of the fast paths can silently desync from the
 reference behaviour.
 
+``--replay`` additionally runs the decision-op **replay-kernel
+microbenchmark**: one preempting plane per machine (switch-on-miss
+RAMpage and virtual-L1), its nine-cell sibling grid (three issue rates
+x three Rambus timings) priced by the scalar ``_replay_timeline``
+interpreter versus the vectorized
+:class:`~repro.trace.replay_kernel.ReplayKernel` (cold build + batched
+``price_many``, and warm on the memoized kernel).  Every cell's
+vectorized output is compared to the scalar oracle first and any
+mismatch fails the run -- the CI identity gate for the kernel.
+
 Usage:
-    rampage-sim bench [--rounds N] [--note TEXT] [--out FILE]
+    rampage-sim bench [--rounds N] [--note TEXT] [--out FILE] [--replay]
     rampage-sim bench --check
     PYTHONPATH=src python tools/bench_snapshot.py [...]   # same tool
 """
@@ -62,6 +72,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.clock import cycle_time_ps
+from repro.core.params import RambusParams
 from repro.core.timer import ScopedTimer, refs_per_second
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import Runner
@@ -75,6 +87,7 @@ from repro.systems.simulator import simulate
 from repro.trace import filter as missplane
 from repro.trace import materialize
 from repro.trace.interleave import InterleavedWorkload
+from repro.trace.replay_kernel import ReplayKernel
 from repro.trace.synthetic import build_workload
 
 REFS = 120_000
@@ -95,6 +108,15 @@ SWEEP_SIZES = (512,)
 SWEEP_RATES = (2 * 10**8, 10**9, 4 * 10**9)
 SWEEP_SCALE = 0.0002
 SWEEP_SLICE_REFS = 10_000
+
+#: ``--replay`` grid: every Rambus timing the preempt-plane tests use
+#: (default, a slow part, a pipelined channel) crossed with the sweep
+#: rates -- nine sibling cells sharing one preempting plane group.
+REPLAY_DRAM_TIMINGS = (
+    RambusParams(),
+    RambusParams(access_ps=90_000, ps_per_beat=2_500),
+    RambusParams(pipelined=True),
+)
 
 
 def environment() -> dict:
@@ -204,6 +226,107 @@ def measure_sweep(rounds: int) -> dict:
         "two_phase_speedup": round(two_phase_speedup, 3),
         "modes": modes,
     }
+
+
+def measure_replay(rounds: int) -> dict:
+    """``--replay``: scalar vs vectorized group re-pricing, plus a gate.
+
+    Records one preempting plane per machine (switch-on-miss RAMpage
+    and switch-on-miss virtual-L1 at the sweep scale), then prices the
+    nine-cell sibling grid (:data:`SWEEP_RATES` ×
+    :data:`REPLAY_DRAM_TIMINGS`) three ways:
+
+    * **scalar** -- the per-cell ``_replay_timeline`` interpreter, the
+      pre-kernel ``replay_group`` behaviour;
+    * **group** -- a cold :class:`~repro.trace.replay_kernel.ReplayKernel`
+      build plus one batched ``price_many`` (what a fresh plane costs);
+    * **warm** -- ``price_many`` on the memoized kernel (what every
+      further ``replay_group`` call on a registry-served plane costs).
+
+    Every (cell, machine) output is compared against the scalar oracle
+    first; any mismatch is counted and fails the run -- this is the CI
+    identity gate, not just a speed report.
+    """
+    timings = [
+        (dram, cycle_time_ps(rate))
+        for dram in REPLAY_DRAM_TIMINGS
+        for rate in SWEEP_RATES
+    ]
+    machines = {
+        "rampage_som": rampage_machine(10**9, 1024, switch_on_miss=True),
+        "rampage_vl1_som": virtual_l1_machine(
+            10**9, 1024, switch_on_miss=True
+        ),
+    }
+    programs = materialize.get_workload(SWEEP_SCALE, 0).programs
+    report: dict = {
+        "cells": len(timings),
+        "rates": list(SWEEP_RATES),
+        "dram_timings": [repr(dram) for dram in REPLAY_DRAM_TIMINGS],
+        "scale": SWEEP_SCALE,
+        "slice_refs": SWEEP_SLICE_REFS,
+        "mismatches": 0,
+        "machines": {},
+    }
+    for label, params in machines.items():
+        recorder = missplane.PlaneRecorder(
+            missplane.plane_key(params, SWEEP_SCALE, 0, SWEEP_SLICE_REFS)
+        )
+        simulate(
+            params,
+            programs,
+            slice_refs=SWEEP_SLICE_REFS,
+            record_plane=recorder,
+        )
+        plane = recorder.finalize()
+        columns = plane.dop_rows()
+        kernel = ReplayKernel(plane.dops)
+        scalar_out = [
+            missplane._replay_timeline(dram, cyc, columns)
+            for dram, cyc in timings
+        ]
+        kernel_out = kernel.price_many(timings)
+        bad = sum(1 for a, b in zip(scalar_out, kernel_out) if a != b)
+        if bad:
+            print(
+                f"REPLAY GATE FAILED: {label}: {bad}/{len(timings)} cells "
+                "diverge between the scalar and vectorized kernels"
+            )
+            report["mismatches"] += bad
+            continue
+        scalar_wall = group_wall = warm_wall = float("inf")
+        for _ in range(rounds):
+            with ScopedTimer() as timer:
+                for dram, cyc in timings:
+                    missplane._replay_timeline(dram, cyc, columns)
+            scalar_wall = min(scalar_wall, timer.elapsed)
+            with ScopedTimer() as timer:
+                ReplayKernel(plane.dops).price_many(timings)
+            group_wall = min(group_wall, timer.elapsed)
+            with ScopedTimer() as timer:
+                kernel.price_many(timings)
+            warm_wall = min(warm_wall, timer.elapsed)
+        ops = len(plane.dops) * len(timings)
+        entry = {
+            "dops": int(len(plane.dops)),
+            "contended_ops": int(kernel.contended_ops),
+            "scalar_wall_s": round(scalar_wall, 6),
+            "group_wall_s": round(group_wall, 6),
+            "warm_wall_s": round(warm_wall, 6),
+            "speedup": round(scalar_wall / group_wall, 2),
+            "warm_speedup": round(scalar_wall / warm_wall, 2),
+            "kernel_ops_per_s": int(round(ops / warm_wall)),
+        }
+        report["machines"][label] = entry
+        print(
+            f"replay {label}: {len(timings)} cells x {entry['dops']} dops "
+            f"({entry['contended_ops']} contended), scalar "
+            f"{scalar_wall * 1e3:.2f} ms, group {group_wall * 1e3:.2f} ms "
+            f"({entry['speedup']:.1f}x), warm {warm_wall * 1e3:.2f} ms "
+            f"({entry['warm_speedup']:.1f}x, "
+            f"{entry['kernel_ops_per_s']:,} ops/s)"
+        )
+    return report
 
 
 #: Subprocess harness for --baseline-src: runs the same sweep shape
@@ -437,6 +560,16 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="fast equivalence self-test (no benchmark, no file write)",
     )
     parser.add_argument(
+        "--replay",
+        action="store_true",
+        help=(
+            "also run the decision-op replay-kernel microbenchmark "
+            "(scalar vs vectorized group re-pricing on preempting "
+            "grids); fails if any cell's vectorized output diverges "
+            "from the scalar oracle"
+        ),
+    )
+    parser.add_argument(
         "--out",
         default="",
         help="snapshot file to append to (default: ./BENCH_throughput.json)",
@@ -480,6 +613,11 @@ def run(args: argparse.Namespace) -> int:
         "throughput": measure(args.rounds),
         "sweep": measure_sweep(args.sweep_rounds),
     }
+    if args.replay:
+        replay = measure_replay(args.sweep_rounds)
+        if replay["mismatches"]:
+            return 1
+        snapshot["replay_kernel"] = replay
     if args.baseline_src:
         baseline = measure_baseline_src(args.baseline_src, args.sweep_rounds)
         two_phase = snapshot["sweep"]["two_phase_wall_s"]

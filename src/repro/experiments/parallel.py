@@ -294,7 +294,10 @@ class ParallelRunner(Runner):
         Two-phase planning keeps plane-sharing cells out of the pool
         entirely; the serial tail re-prices them group-by-group from
         the representatives' recorded planes, one vectorized
-        :func:`~repro.trace.filter.replay_group` call per geometry.
+        :func:`~repro.trace.filter.replay_group` call per geometry
+        (batched through the plane's
+        :class:`~repro.trace.replay_kernel.ReplayKernel` when the
+        group is preempting).
         """
         pending = self.pending_cells(labels)
         if not pending:

@@ -70,6 +70,7 @@ from repro.trace.filter import (
     discard_plane,
     get_plane,
     plane_key,
+    registry_stats,
     replay_decoupled,
     replay_group,
     select_replay_mode,
@@ -482,9 +483,14 @@ class Runner:
         each group's first cell runs through :meth:`record` (recording
         the plane when it is not already committed) and every remaining
         sibling is priced by one vectorized :func:`replay_group` call
-        instead of a per-cell replay.  Cells whose mode is ``"full"``
-        run through :meth:`record` unchanged.  ``on_record`` fires once
-        per finished cell, in completion order.
+        -- the batched :class:`~repro.trace.replay_kernel.ReplayKernel`
+        for preempting planes, a shared idle-channel price table
+        otherwise -- instead of a per-cell replay; the plane itself is
+        served from the LRU-by-bytes in-process registry, so repeated
+        groups skip the artifact re-load and re-validation.  Cells
+        whose mode is ``"full"`` run through :meth:`record` unchanged.
+        ``on_record`` fires once per finished cell, in completion
+        order.
         """
         groups: dict[str | None, list[tuple[str, MachineParams, str]]] = {}
         for label, params in cells:
@@ -603,6 +609,7 @@ class Runner:
                 "workload_version": WORKLOAD_VERSION,
                 "grids": sorted(self._grids),
                 "cache": self.cache_stats.as_dict(),
+                "plane_registry": registry_stats(),
                 "entries": entries,
                 "quarantined_files": quarantined,
             },

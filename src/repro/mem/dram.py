@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.errors import ConfigurationError
 from repro.core.params import DiskParams, RambusParams
 
@@ -52,6 +54,43 @@ def rambus_pipelined_ps(params: RambusParams, nbytes: int) -> int:
     beats = -(-nbytes // params.bytes_per_beat)
     streamed = round(beats * params.ps_per_beat / params.pipeline_efficiency)
     return min(streamed, rambus_transfer_ps(params, nbytes))
+
+
+def rambus_transfer_ps_array(params: RambusParams, nbytes) -> np.ndarray:
+    """Vectorized :func:`rambus_transfer_ps` over an int64 size array.
+
+    Element-for-element identical to the scalar function (a test sweeps
+    both): the replay kernel prices a tape's distinct transfer sizes as
+    one lookup table per Rambus timing instead of one Python call per
+    access, so the per-size arithmetic must stay byte-exact.
+    """
+    sizes = np.asarray(nbytes, dtype=np.int64)
+    if sizes.size and int(sizes.min()) < 0:
+        raise ConfigurationError(
+            f"nbytes must be >= 0, got {int(sizes.min())}"
+        )
+    beats = -(-sizes // params.bytes_per_beat)
+    out = params.access_ps + beats * params.ps_per_beat
+    return np.where(sizes == 0, 0, out).astype(np.int64)
+
+
+def rambus_pipelined_ps_array(params: RambusParams, nbytes) -> np.ndarray:
+    """Vectorized :func:`rambus_pipelined_ps` over an int64 size array.
+
+    Matches the scalar function exactly, including the round-half-even
+    of the stretched beat time (``np.rint`` and Python's ``round`` share
+    IEEE nearest-even semantics on the identical float64 intermediate)
+    and the never-slower-than-plain clamp.
+    """
+    sizes = np.asarray(nbytes, dtype=np.int64)
+    plain = rambus_transfer_ps_array(params, sizes)
+    beats = -(-sizes // params.bytes_per_beat)
+    streamed = np.rint(
+        beats * params.ps_per_beat / params.pipeline_efficiency
+    ).astype(np.int64)
+    return np.where(sizes == 0, 0, np.minimum(streamed, plain)).astype(
+        np.int64
+    )
 
 
 @dataclass(frozen=True)

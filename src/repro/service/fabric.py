@@ -48,7 +48,7 @@ from repro.service.jobs import (
     PlannedCell,
     plan_cells,
 )
-from repro.trace.filter import plane_key, select_replay_mode
+from repro.trace.filter import plane_key, registry_stats, select_replay_mode
 
 #: Default seconds a worker sleeps when it finds nothing claimable.
 DEFAULT_POLL_S = 0.05
@@ -178,6 +178,12 @@ def run_worker(
     -- their cells arrive through the journal when the peer finishes.
     ``hold_after_claim`` is a test hook: sleep that long after each
     claim so a harness can ``SIGKILL`` the worker mid-lease.
+
+    The returned counters include a ``plane_registry`` snapshot: jobs
+    sharing a plane group hit the worker's in-process LRU registry
+    instead of re-loading and re-validating the artifact per job, and
+    the hit/miss/eviction mix shows whether the byte budget fits the
+    job stream.
     """
     store = JobStore(state_dir)
     store.recover()
@@ -194,6 +200,7 @@ def run_worker(
         active = [job for job in jobs if not job.terminal]
         if not active:
             if jobs or job_filter is None:
+                stats["plane_registry"] = registry_stats()
                 return stats
             time.sleep(poll_s)  # targeted job not journalled yet
             continue

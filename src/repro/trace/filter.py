@@ -141,8 +141,19 @@ from repro.core.clock import cycle_time_ps
 from repro.core.errors import CacheIntegrityError, SimulationError
 from repro.core.params import MachineParams, RambusParams
 from repro.core.stats import SimStats
-from repro.mem.dram import rambus_pipelined_ps, rambus_transfer_ps
+from repro.mem.dram import (
+    rambus_pipelined_ps,
+    rambus_transfer_ps,
+    rambus_transfer_ps_array,
+)
 from repro.trace.materialize import WORKLOAD_VERSION, _file_checksum
+from repro.trace.replay_kernel import (
+    DOP_BG_FILL,
+    DOP_BG_WB,
+    DOP_SYNC,
+    DOP_WAIT,
+    ReplayKernel,
+)
 
 #: Artifact manifest schema tag, bumped when the plane layout changes.
 PLANE_SCHEMA = "rampage-plane/2"
@@ -165,13 +176,11 @@ FLAG_L1_MISS = 4  # the run's first reference missed its L1
 FLAG_FIRST_WRITE = 8  # data-side run whose first reference is a write
 FLAG_PREEMPT = 16  # the translate faulted and preempted (chunk's last event)
 
-#: Decision-op kinds (``dops.npy`` column 0).  ``arg`` (column 1) is a
-#: byte count for the transfer ops and a fill ordinal for ``WAIT``;
-#: column 2 is the absolute CPU cycle count at the op.
-DOP_SYNC = 0  # blocking transfer (mirrors one tape entry, in order)
-DOP_BG_WB = 1  # background dirty-victim writeback
-DOP_BG_FILL = 2  # background page fill; assigned the next fill ordinal
-DOP_WAIT = 3  # potential stall on fill ``arg`` (first structural touch)
+# Decision-op kinds (``dops.npy`` column 0) live in
+# :mod:`repro.trace.replay_kernel` (imported above and re-exported here
+# for compatibility).  ``arg`` (column 1) is a byte count for the
+# transfer ops and a fill ordinal for ``WAIT``; column 2 is the
+# absolute CPU cycle count at the op.
 
 #: Canonical issue rate substituted before hashing structural identity.
 _CANONICAL_RATE_HZ = 10**9
@@ -423,6 +432,7 @@ class MissPlane:
         self._dirty_offsets = None
         self._tape_counts = None
         self._dop_rows = None
+        self._kernel: ReplayKernel | None = None
         self._views: dict[int, PlaneChunk] = {}
 
     def tape_counts(self) -> tuple[list[int], np.ndarray]:
@@ -456,6 +466,25 @@ class MissPlane:
                 dops[:, 2].tolist(),
             )
         return self._dop_rows
+
+    def kernel(self) -> ReplayKernel:
+        """The vectorized replay kernel over this plane's decision ops.
+
+        Built once per plane -- the kernel's window segmentation is
+        timing-invariant -- and shared by every sibling cell and every
+        :func:`replay_group` call.  A tape whose waits reference fills
+        not yet queued (impossible for a validated artifact, possible
+        for a hand-built plane) surfaces as :class:`PlaneReplayError`,
+        the same corruption class the scalar recursion reports.
+        """
+        if self._kernel is None:
+            try:
+                self._kernel = ReplayKernel(self.dops)
+            except IndexError as exc:
+                raise PlaneReplayError(
+                    f"malformed decision-op tape: {exc}"
+                ) from exc
+        return self._kernel
 
     def _offsets(self):
         if self._ev_offsets is None:
@@ -957,11 +986,103 @@ def quarantine_dir(directory: str | Path) -> Path:
 # Process-level registry
 # ----------------------------------------------------------------------
 
-#: Planes already recorded or attached in this process.  Bounded FIFO,
-#: keyed like the artifact (plane key + cache directory), mirroring the
-#: trace plane's registry discipline.
-_REGISTRY: dict[tuple, MissPlane] = {}
-_REGISTRY_MAX = 8
+def plane_nbytes(plane: MissPlane) -> int:
+    """Resident bytes of a plane's arrays (the registry's cost metric)."""
+    return sum(
+        int(np.asarray(getattr(plane, name)).nbytes)
+        for name, _, _ in _ARRAY_SPECS
+    )
+
+
+class PlaneRegistry:
+    """Bounded in-process plane cache, LRU by resident bytes.
+
+    Every hit skips a full artifact re-load -- manifest parse, per-array
+    SHA-256, shape validation -- plus the plane's derived caches
+    (chunk views, tape counts, the replay kernel's window structure),
+    which is what makes repeated group replays by fabric workers and
+    :meth:`~repro.experiments.runner.Runner.prefetch` cheap.  Eviction
+    is least-recently-used and budgeted by array bytes rather than
+    plane count, so one huge plane cannot silently pin seven others'
+    worth of memory and many small planes are not evicted needlessly.
+    ``hits``/``misses``/``evictions`` feed the runner manifest and the
+    fabric worker stats.
+    """
+
+    def __init__(self, max_bytes: int = 256 * 1024 * 1024) -> None:
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = max_bytes
+        # dict order doubles as recency order: oldest first.
+        self._planes: dict[tuple, MissPlane] = {}
+        self._sizes: dict[tuple, int] = {}
+        self.total_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._planes)
+
+    def __contains__(self, registry_key: tuple) -> bool:
+        return registry_key in self._planes
+
+    def get(self, registry_key: tuple) -> MissPlane | None:
+        plane = self._planes.get(registry_key)
+        if plane is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        # Move to most-recently-used position.
+        self._planes[registry_key] = self._planes.pop(registry_key)
+        return plane
+
+    def remember(self, registry_key: tuple, plane: MissPlane) -> MissPlane:
+        self.forget_key(registry_key)
+        size = plane_nbytes(plane)
+        self._planes[registry_key] = plane
+        self._sizes[registry_key] = size
+        self.total_bytes += size
+        # Evict from the LRU end; the entry just added is never a
+        # candidate, so an over-budget plane still serves its group.
+        while self.total_bytes > self.max_bytes and len(self._planes) > 1:
+            oldest = next(iter(self._planes))
+            self.forget_key(oldest)
+            self.evictions += 1
+        return plane
+
+    def forget_key(self, registry_key: tuple) -> None:
+        if self._planes.pop(registry_key, None) is not None:
+            self.total_bytes -= self._sizes.pop(registry_key)
+
+    def forget_plane(self, plane: MissPlane) -> None:
+        """Drop every entry holding ``plane`` (quarantine path)."""
+        for registry_key in [
+            k for k, v in self._planes.items() if v is plane
+        ]:
+            self.forget_key(registry_key)
+
+    def stats(self) -> dict:
+        """Counters for manifests and worker stats payloads."""
+        return {
+            "planes": len(self._planes),
+            "bytes": self.total_bytes,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def clear(self) -> None:
+        self._planes.clear()
+        self._sizes.clear()
+        self.total_bytes = 0
+
+
+#: Planes already recorded or attached in this process, keyed like the
+#: artifact (plane key + cache directory).  LRU bounded by array bytes
+#: -- see :class:`PlaneRegistry`.
+_REGISTRY = PlaneRegistry()
 
 
 class _NullEvents:
@@ -969,15 +1090,17 @@ class _NullEvents:
         pass
 
 
-def _remember(registry_key: tuple, plane: MissPlane) -> MissPlane:
-    if registry_key not in _REGISTRY and len(_REGISTRY) >= _REGISTRY_MAX:
-        _REGISTRY.pop(next(iter(_REGISTRY)))
-    _REGISTRY[registry_key] = plane
-    return plane
+def registry_stats() -> dict:
+    """The in-process plane registry's counters (manifests, workers)."""
+    return _REGISTRY.stats()
 
 
 def clear_registry() -> None:
-    """Drop every in-process plane (tests and benchmarks)."""
+    """Drop every in-process plane (tests and benchmarks).
+
+    Keeps the hit/miss/eviction counters: they describe the process,
+    not the current contents.
+    """
     _REGISTRY.clear()
 
 
@@ -1020,7 +1143,7 @@ def get_plane(
     events.emit(
         "plane_attached", key=key, path=str(path), events=plane.num_events
     )
-    return _remember(registry_key, plane)
+    return _REGISTRY.remember(registry_key, plane)
 
 
 def commit_plane(
@@ -1037,7 +1160,7 @@ def commit_plane(
         chunks=plane.num_chunks,
         events=plane.num_events,
     )
-    return _remember(_registry_key(plane.key, cache_dir), plane)
+    return _REGISTRY.remember(_registry_key(plane.key, cache_dir), plane)
 
 
 def discard_plane(
@@ -1049,8 +1172,7 @@ def discard_plane(
     artifact aside, so the next cell re-records instead of re-tripping.
     """
     events = events if events is not None else _NullEvents()
-    for registry_key in [k for k, v in _REGISTRY.items() if v is plane]:
-        del _REGISTRY[registry_key]
+    _REGISTRY.forget_plane(plane)
     destination = None
     if plane.path is not None and Path(plane.path).exists():
         destination = str(quarantine_dir(plane.path))
@@ -1073,7 +1195,7 @@ def attach_plane(path: str | Path) -> MissPlane:
     registry_key = ("path", str(Path(path)))
     plane = _REGISTRY.get(registry_key)
     if plane is None:
-        plane = _remember(registry_key, load_plane(path))
+        plane = _REGISTRY.remember(registry_key, load_plane(path))
     return plane
 
 
@@ -1094,6 +1216,14 @@ def _stats_from_dict(payload: dict) -> SimStats:
     return stats
 
 
+#: Peak size of the pending-fill map in the most recent
+#: :func:`_replay_timeline` call.  Regression probe: the map is bounded
+#: by the fills outstanding since the last synchronous transfer, never
+#: by tape length (it used to grow one entry per fill for the whole
+#: tape).
+_timeline_pending_peak = 0
+
+
 def _replay_timeline(
     dram, cycle_ps: int, columns: tuple[list, list, list]
 ) -> tuple[int, int, int]:
@@ -1110,15 +1240,35 @@ def _replay_timeline(
     pricing rule of ``_cost_ps``) verbatim, so the returned
     ``(dram_ps, stall_ps, overlap_ps)`` is byte-identical to what the
     full simulation measures at that timing.
+
+    This is the scalar equivalence oracle for the vectorized
+    :class:`~repro.trace.replay_kernel.ReplayKernel` (which replays
+    production cells); ``PlaneRecorder.capture`` self-checks every
+    preempting recording through it, and the kernel tests fuzz the
+    pair.  On a recording's tape -- cycle stamps nondecreasing, always
+    true for a real plane -- the pending-fill map stays bounded: a
+    fill's completion time is dropped once consumed by its wait (a
+    later wait on the same fill can never stall, because the first one
+    left ``now`` at or past the ready time), and a synchronous
+    transfer retires every pending fill at once (it drains the
+    channel, so ``now`` ends at or past every queued completion).
+    Both retirements lean on ``now`` never moving backwards, so a tape
+    with *decreasing* stamps keeps every completion time instead --
+    the original semantics, which the kernel's whole-tape fallback
+    mirrors -- rather than silently changing what a wait can charge.
     """
+    global _timeline_pending_peak
     kinds, argvals, op_cycles = columns
     pipelined = dram.pipelined
+    bounded = all(a <= b for a, b in zip(op_cycles, op_cycles[1:]))
     free_at = 0
     extra = 0
     stall = 0
     overlap = 0
     dram_ps = 0
-    ready: list[int] = []
+    fills = 0
+    pending_peak = 0
+    ready: dict[int, int] = {}
     for op, arg, cyc in zip(kinds, argvals, op_cycles):
         now = cyc * cycle_ps + extra
         if op == DOP_SYNC:
@@ -1134,12 +1284,20 @@ def _replay_timeline(
             free_at = now + wait + cost
             stall += wait
             dram_ps += wait + cost
+            if bounded and ready:
+                ready.clear()
         elif op == DOP_WAIT:
-            wait = ready[arg] - now
-            if wait > 0:
-                extra += wait
-                stall += wait
-                dram_ps += wait
+            if arg < 0 or arg >= fills:
+                raise IndexError(
+                    f"wait on fill {arg}, but only {fills} fills are queued"
+                )
+            done = ready.pop(arg, None) if bounded else ready.get(arg)
+            if done is not None:
+                wait = done - now
+                if wait > 0:
+                    extra += wait
+                    stall += wait
+                    dram_ps += wait
         else:  # DOP_BG_WB / DOP_BG_FILL
             start = free_at if free_at > now else now
             cost = (
@@ -1149,8 +1307,12 @@ def _replay_timeline(
             )
             free_at = start + cost
             if op == DOP_BG_FILL:
-                ready.append(free_at)
+                ready[fills] = free_at
+                fills += 1
+                if len(ready) > pending_peak:
+                    pending_peak = len(ready)
                 overlap += free_at - now
+    _timeline_pending_peak = pending_peak
     return dram_ps, stall, overlap
 
 
@@ -1220,13 +1382,23 @@ def _reprice_cell(
     return SimulationResult(params=params, stats=stats)
 
 
+def _tape_price_table(dram: RambusParams, values) -> np.ndarray:
+    """Per-distinct-size idle-channel prices for a queue-free tape.
+
+    One array call over the tape's few distinct transfer sizes --
+    element-identical to pricing each size with
+    :func:`~repro.mem.dram.rambus_transfer_ps` -- shared across every
+    sibling cell with the same Rambus timing in :func:`replay_group`.
+    """
+    return rambus_transfer_ps_array(dram, np.asarray(values, dtype=np.int64))
+
+
 def _tape_price(params: MachineParams, plane: MissPlane) -> int:
     """Price a queue-free tape: each distinct size once, idle channel."""
-    dram_ps = 0
     values, counts = plane.tape_counts()
-    for nbytes, count in zip(values, counts.tolist()):
-        dram_ps += int(count) * rambus_transfer_ps(params.dram, int(nbytes))
-    return dram_ps
+    if not values:
+        return 0
+    return int(_tape_price_table(params.dram, values) @ counts)
 
 
 def replay_decoupled(params: MachineParams, plane: MissPlane):
@@ -1237,9 +1409,11 @@ def replay_decoupled(params: MachineParams, plane: MissPlane):
     the recorded DRAM interactions under ``params``'s Rambus timing
     (see the module docstring for why this is exact).  Non-preempting
     planes price their synchronous tape on an idle channel; preempting
-    planes replay the decision-op tape through
-    :func:`_replay_timeline`, re-deriving ``dram_stall_ps`` and
-    ``dram_overlap_ps`` for this cell.  Returns the byte-identical
+    planes price the decision-op tape through the plane's memoized
+    vectorized :class:`~repro.trace.replay_kernel.ReplayKernel`
+    (byte-identical to the scalar :func:`_replay_timeline` oracle),
+    re-deriving ``dram_stall_ps`` and ``dram_overlap_ps`` for this
+    cell.  Returns the byte-identical
     :class:`~repro.systems.base.SimulationResult` the full simulation
     would produce, provided ``params`` shares the plane's structural
     key.  Raises :class:`PlaneReplayError` when the snapshot breaks a
@@ -1252,14 +1426,9 @@ def replay_decoupled(params: MachineParams, plane: MissPlane):
     recorded, level_times, rec_cycle = _validate_snapshot(plane)
     if len(plane.dops):
         cell_cycle = cycle_time_ps(params.issue_rate_hz)
-        try:
-            dram_ps, stall, overlap = _replay_timeline(
-                params.dram, cell_cycle, plane.dop_rows()
-            )
-        except IndexError as exc:
-            raise PlaneReplayError(
-                f"malformed decision-op tape: {exc}"
-            ) from exc
+        dram_ps, stall, overlap = plane.kernel().price(
+            params.dram, cell_cycle
+        )
     else:
         dram_ps, stall, overlap = _tape_price(params, plane), 0, 0
     return _reprice_cell(
@@ -1275,12 +1444,17 @@ def replay_group(params_list, plane: MissPlane) -> list:
     assembled exactly as :func:`replay_decoupled` would -- the results
     are byte-identical to calling it per cell (tests enforce this).
 
-    Non-preempting planes vectorize completely: one
-    ``(n_cells, n_distinct)`` int64 price matrix (a handful of distinct
-    transfer sizes priced per DRAM timing) multiplied into the plane's
-    count vector prices every cell in a single matrix op.  Preempting
-    planes run the integer timeline per cell over the shared cached
-    op columns -- still pure arithmetic, no simulation.
+    Non-preempting planes vectorize completely: one idle-channel price
+    table per *distinct* Rambus timing (a handful of distinct transfer
+    sizes priced in one array call, shared by every cell sweeping only
+    the issue rate) multiplied into the plane's count vector prices
+    every cell with a dot product.  Preempting planes batch through
+    the plane's memoized
+    :class:`~repro.trace.replay_kernel.ReplayKernel`: the tape's
+    window segmentation is built once and
+    :meth:`~repro.trace.replay_kernel.ReplayKernel.price_many` shares
+    per-timing cost tables across the whole group -- still pure
+    arithmetic, no simulation.
     """
     params_list = list(params_list)
     for params in params_list:
@@ -1291,17 +1465,14 @@ def replay_group(params_list, plane: MissPlane) -> list:
     recorded, level_times, rec_cycle = _validate_snapshot(plane)
     results = []
     if len(plane.dops):
-        columns = plane.dop_rows()
-        for params in params_list:
-            cell_cycle = cycle_time_ps(params.issue_rate_hz)
-            try:
-                dram_ps, stall, overlap = _replay_timeline(
-                    params.dram, cell_cycle, columns
-                )
-            except IndexError as exc:
-                raise PlaneReplayError(
-                    f"malformed decision-op tape: {exc}"
-                ) from exc
+        kernel = plane.kernel()
+        priced = kernel.price_many(
+            [
+                (params.dram, cycle_time_ps(params.issue_rate_hz))
+                for params in params_list
+            ]
+        )
+        for params, (dram_ps, stall, overlap) in zip(params_list, priced):
             results.append(
                 _reprice_cell(
                     params, plane, recorded, level_times, rec_cycle,
@@ -1311,14 +1482,15 @@ def replay_group(params_list, plane: MissPlane) -> list:
         return results
     values, counts = plane.tape_counts()
     if values:
-        prices = np.array(
-            [
-                [rambus_transfer_ps(params.dram, int(v)) for v in values]
-                for params in params_list
-            ],
-            dtype=np.int64,
-        )
-        dram_vec = (prices @ counts).tolist()
+        tables: dict[RambusParams, np.ndarray] = {}
+        dram_vec = []
+        for params in params_list:
+            table = tables.get(params.dram)
+            if table is None:
+                table = tables[params.dram] = _tape_price_table(
+                    params.dram, values
+                )
+            dram_vec.append(int(table @ counts))
     else:
         dram_vec = [0] * len(params_list)
     for params, dram_ps in zip(params_list, dram_vec):

@@ -369,27 +369,55 @@ def test_runner_without_cache_dir_still_two_phases_in_memory():
 
 
 # ----------------------------------------------------------------------
-# Registry bounds (filter and materialize share the FIFO discipline)
+# Registry bounds (filter: LRU by bytes; materialize: FIFO by count)
 # ----------------------------------------------------------------------
 
 
-def test_filter_registry_is_bounded_fifo():
+def test_filter_registry_evicts_least_recently_used_by_bytes():
     _, plane = record_plane(baseline_machine(10**9, 512))
-    for index in range(missplane._REGISTRY_MAX + 3):
-        missplane._remember((f"key-{index}", None), plane)
-    assert len(missplane._REGISTRY) == missplane._REGISTRY_MAX
-    # FIFO: the oldest entries were evicted, the newest survive.
-    assert ("key-0", None) not in missplane._REGISTRY
-    assert (f"key-{missplane._REGISTRY_MAX + 2}", None) in missplane._REGISTRY
+    per_plane = missplane.plane_nbytes(plane)
+    assert per_plane > 0
+    registry = missplane.PlaneRegistry(max_bytes=3 * per_plane)
+    for index in range(3):
+        registry.remember((f"key-{index}", None), plane)
+    assert registry.total_bytes == 3 * per_plane
+    # Touch key-0 so key-1 becomes the LRU entry, then overflow.
+    assert registry.get(("key-0", None)) is plane
+    registry.remember(("key-3", None), plane)
+    assert len(registry) == 3
+    assert ("key-1", None) not in registry
+    assert ("key-0", None) in registry
+    assert registry.evictions == 1
+    stats = registry.stats()
+    assert stats["planes"] == 3
+    assert stats["bytes"] == registry.total_bytes <= registry.max_bytes
 
 
 def test_filter_registry_rewrite_does_not_evict():
     _, plane = record_plane(baseline_machine(10**9, 512))
-    for index in range(missplane._REGISTRY_MAX):
-        missplane._remember((f"key-{index}", None), plane)
-    missplane._remember(("key-0", None), plane)  # refresh, registry full
-    assert len(missplane._REGISTRY) == missplane._REGISTRY_MAX
-    assert ("key-1", None) in missplane._REGISTRY
+    per_plane = missplane.plane_nbytes(plane)
+    registry = missplane.PlaneRegistry(max_bytes=3 * per_plane)
+    for index in range(3):
+        registry.remember((f"key-{index}", None), plane)
+    registry.remember(("key-0", None), plane)  # refresh, registry full
+    assert len(registry) == 3
+    assert registry.total_bytes == 3 * per_plane
+    assert registry.evictions == 0
+    assert ("key-1", None) in registry
+
+
+def test_filter_registry_keeps_an_over_budget_plane_usable():
+    # A single plane bigger than the whole budget must still be served
+    # (its group is being replayed right now); it is evicted only when
+    # the next plane arrives.
+    _, plane = record_plane(baseline_machine(10**9, 512))
+    per_plane = missplane.plane_nbytes(plane)
+    registry = missplane.PlaneRegistry(max_bytes=max(1, per_plane // 2))
+    registry.remember(("big", None), plane)
+    assert registry.get(("big", None)) is plane
+    registry.remember(("next", None), plane)
+    assert ("big", None) not in registry
+    assert registry.get(("next", None)) is plane
 
 
 def test_materialize_registry_is_bounded_fifo():
