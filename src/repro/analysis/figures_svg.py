@@ -246,62 +246,98 @@ def line_chart(
     return _svg(width, height, "\n".join(body), n_series=len(series))
 
 
-def write_figure_svgs(runner, out_dir: str | Path) -> list[Path]:
-    """Render Figures 2-5 from a runner's cached grids; returns paths."""
+#: Grid labels Figures 2-5 draw from, in rendering order.
+FIGURE_GRID_LABELS = ("baseline", "rampage", "rampage_som", "twoway")
+
+#: Stacked-panel level order for the Figure 2/3 time-fraction bars.
+FIGURE_LEVELS = ("l1i", "l1d", "l2", "dram", "other")
+
+
+def figure23_panel(grid, issue_rate_hz: int, fig_name: str, grid_label: str) -> str:
+    """One Figure 2/3 panel drawn from an in-memory grid of records."""
     from repro.analysis.fractions import level_fraction_rows
+
+    sram_label = "SRAM" if grid_label == "rampage" else "L2"
+    rows = level_fraction_rows(grid, issue_rate_hz)
+    return stacked_fraction_panel(
+        rows,
+        FIGURE_LEVELS,
+        title=f"{fig_name}: {grid_label}, {format_rate(issue_rate_hz)}",
+        sram_label=sram_label,
+    )
+
+
+def figure4_chart(grids, issue_rate_hz: int) -> str:
+    """Figure 4: overhead-ratio lines from in-memory grids of records."""
     from repro.analysis.overheads import overhead_series
+
+    overhead = {
+        label: overhead_series(grids[label], issue_rate_hz)
+        for label in ("baseline", "rampage")
+    }
+    return line_chart(
+        overhead,
+        title=f"figure4: handler overhead, {format_rate(issue_rate_hz)}",
+        y_label="handler refs / workload refs",
+    )
+
+
+def figure5_chart(grids, issue_rate_hz: int) -> str:
+    """One Figure 5 panel (relative slowdowns) for one issue rate."""
     from repro.analysis.relative import relative_speed_rows
 
+    pair = [grids["rampage_som"], grids["twoway"]]
+    rows = relative_speed_rows(pair, issue_rate_hz)
+    series: dict[str, dict[int, float]] = {"rampage_som": {}, "twoway": {}}
+    for row in rows:
+        for label in series:
+            if label in row:
+                series[label][row["size_bytes"]] = row[label]
+    return line_chart(
+        series,
+        title=f"figure5: slowdown vs best, {format_rate(issue_rate_hz)}",
+        y_label="n (1.n x slower than best)",
+    )
+
+
+def render_figure_svgs(grids, config) -> dict[str, str]:
+    """Figures 2-5 rendered purely from in-memory record grids.
+
+    ``grids`` maps each :data:`FIGURE_GRID_LABELS` label to a
+    :class:`~repro.analysis.runtime.RunGrid` (however it was obtained:
+    a live runner, the run-record cache, or HTTP-fetched records);
+    nothing here triggers a simulation.  Returns ``{filename: svg
+    text}`` in the canonical file order.
+    """
+    svgs: dict[str, str] = {}
+    for fig_name, rate in (
+        ("figure2", config.slow_rate),
+        ("figure3", config.fast_rate),
+    ):
+        for grid_label in ("baseline", "rampage"):
+            svgs[f"{fig_name}_{grid_label}.svg"] = figure23_panel(
+                grids[grid_label], rate, fig_name, grid_label
+            )
+    svgs["figure4.svg"] = figure4_chart(grids, config.slow_rate)
+    for rate in config.issue_rates:
+        svgs[f"figure5_{format_rate(rate)}.svg"] = figure5_chart(grids, rate)
+    return svgs
+
+
+def write_figure_svgs(runner, out_dir: str | Path) -> list[Path]:
+    """Render Figures 2-5 from a runner's cached grids; returns paths.
+
+    The runner computes (or loads from cache) the four figure grids;
+    rendering itself goes through :func:`render_figure_svgs`, which
+    only sees in-memory records -- the same code path the reports
+    subsystem serves over HTTP.
+    """
+    grids = {label: runner.grid(label) for label in FIGURE_GRID_LABELS}
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     written: list[Path] = []
-    config = runner.config
-    levels = ("l1i", "l1d", "l2", "dram", "other")
-
-    for fig_name, rate in (("figure2", config.slow_rate), ("figure3", config.fast_rate)):
-        for grid_label, sram_label in (("baseline", "L2"), ("rampage", "SRAM")):
-            rows = level_fraction_rows(runner.grid(grid_label), rate)
-            svg = stacked_fraction_panel(
-                rows,
-                levels,
-                title=f"{fig_name}: {grid_label}, {format_rate(rate)}",
-                sram_label=sram_label,
-            )
-            path = out_dir / f"{fig_name}_{grid_label}.svg"
-            path.write_text(svg, encoding="utf-8")
-            written.append(path)
-
-    overhead = {
-        label: overhead_series(runner.grid(label), config.slow_rate)
-        for label in ("baseline", "rampage")
-    }
-    path = out_dir / "figure4.svg"
-    path.write_text(
-        line_chart(
-            overhead,
-            title=f"figure4: handler overhead, {format_rate(config.slow_rate)}",
-            y_label="handler refs / workload refs",
-        ),
-        encoding="utf-8",
-    )
-    written.append(path)
-
-    grids = [runner.grid("rampage_som"), runner.grid("twoway")]
-    for rate in config.issue_rates:
-        rows = relative_speed_rows(grids, rate)
-        series: dict[str, dict[int, float]] = {"rampage_som": {}, "twoway": {}}
-        for row in rows:
-            for label in series:
-                if label in row:
-                    series[label][row["size_bytes"]] = row[label]
-        path = out_dir / f"figure5_{format_rate(rate)}.svg"
-        path.write_text(
-            line_chart(
-                series,
-                title=f"figure5: slowdown vs best, {format_rate(rate)}",
-                y_label="n (1.n x slower than best)",
-            ),
-            encoding="utf-8",
-        )
+    for name, svg in render_figure_svgs(grids, runner.config).items():
+        path = out_dir / name
+        path.write_text(svg, encoding="utf-8")
         written.append(path)
     return written

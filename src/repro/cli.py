@@ -5,6 +5,7 @@ Subcommands::
     rampage-sim list                      # available experiments
     rampage-sim run table3 [table4 ...]   # run experiments, print reports
     rampage-sim run all --out results/    # everything, saved to files
+    rampage-sim report figures --format svg  # render cached records
     rampage-sim sweep --kind rampage ...  # one ad-hoc simulation cell
     rampage-sim cache stats|verify|purge  # inspect/repair the run cache
     rampage-sim bench [--check]           # throughput snapshot / self-test
@@ -22,6 +23,7 @@ is the *same* record -- cache hits included.
 from __future__ import annotations
 
 import argparse
+import json
 import shutil
 import sys
 from dataclasses import replace
@@ -29,8 +31,7 @@ from pathlib import Path
 from typing import Callable, Sequence
 
 from repro import bench
-from repro.core.errors import CacheIntegrityError
-from repro.core.observe import read_manifest
+from repro.core.errors import CacheIntegrityError, ConfigurationError
 from repro.core.timer import ScopedTimer, refs_per_second
 from repro.experiments import ExperimentConfig, ParallelRunner, Runner
 from repro.experiments.runner import (
@@ -38,6 +39,8 @@ from repro.experiments.runner import (
     iter_cache_files,
     iter_quarantined_files,
 )
+from repro.reports import FORMATS, cache_status
+from repro.reports.status import ARTIFACT_LAYOUTS, artifact_dirs
 from repro.experiments import (
     figure4,
     figure5,
@@ -56,8 +59,6 @@ from repro.systems.factory import (
     rampage_machine,
     twoway_machine,
 )
-from repro.trace import filter as missplane
-from repro.trace import materialize
 
 EXPERIMENTS: dict[str, Callable[[Runner], ExperimentOutput]] = {
     "table1": table1.run,
@@ -116,6 +117,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for sweep cells (default: one per core)",
     )
 
+    report_cmd = sub.add_parser(
+        "report",
+        help="render a report from cached records (docs/reports.md)",
+    )
+    report_cmd.add_argument(
+        "name",
+        help="report name: a grid label, figure2..figure5, or 'figures'",
+    )
+    report_cmd.add_argument(
+        "--format", choices=list(FORMATS), default="json"
+    )
+    report_cmd.add_argument(
+        "--out", help="output file (default: stdout)"
+    )
+    report_cmd.add_argument(
+        "--min-complete",
+        type=float,
+        help="fail (exit 1) if the report's completeness is below this",
+    )
+    report_cmd.add_argument(
+        "--server",
+        help="render via a running daemon instead of the local cache",
+    )
+    report_cmd.add_argument("--rates", help="comma-separated issue rates (Hz)")
+    report_cmd.add_argument("--sizes", help="comma-separated block/page bytes")
+    report_cmd.add_argument("--scale", type=float, help="workload scale factor")
+    report_cmd.add_argument("--slice-refs", type=int, help="scheduling quantum")
+    report_cmd.add_argument("--seed", type=int, help="workload seed")
+
     sweep_cmd = sub.add_parser("sweep", help="run one ad-hoc simulation")
     sweep_cmd.add_argument(
         "--kind", choices=sorted(_MACHINES), default="rampage"
@@ -159,6 +189,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--corrupt-only",
         action="store_true",
         help="delete only quarantined records and artifacts",
+    )
+    cache_sub.choices["stats"].add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="machine-readable output (the /v1/bench cache serializer)",
     )
 
     bench_cmd = sub.add_parser(
@@ -355,6 +391,9 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         )
         return 2
     if not cache_dir.exists():
+        if args.cache_command == "stats" and getattr(args, "as_json", False):
+            print(json.dumps(cache_status(cache_dir), indent=2, sort_keys=True))
+            return 0
         print(f"cache directory {cache_dir} does not exist")
         return 0 if args.cache_command == "stats" else 2
     handler = {
@@ -366,70 +405,39 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def _cache_stats(cache_dir: Path, args: argparse.Namespace) -> int:
-    entries = list(iter_cache_files(cache_dir))
-    quarantined = list(iter_quarantined_files(cache_dir))
-    total_bytes = sum(path.stat().st_size for path in entries)
-    by_label: dict[str, int] = {}
-    undecodable = 0
-    for path in entries:
-        try:
-            record = decode_cache_entry(path.read_text("utf-8"))
-        except (OSError, CacheIntegrityError):
-            undecodable += 1
-            continue
-        by_label[record.label] = by_label.get(record.label, 0) + 1
+    """Summarise the cache via the shared :func:`cache_status` serializer.
+
+    ``--json`` prints that dict verbatim -- the exact payload the
+    daemon's ``/v1/bench`` route and the dashboard consume; the human
+    table renders the same fields.
+    """
+    status = cache_status(cache_dir)
+    if getattr(args, "as_json", False):
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
     print(f"cache directory: {cache_dir}")
-    print(f"records: {len(entries)} ({total_bytes:,} bytes)")
-    for table_label in sorted(by_label):
-        print(f"  {table_label:12s} {by_label[table_label]}")
-    if undecodable:
-        print(f"undecodable records: {undecodable} (run 'cache verify')")
-    print(f"quarantined files: {len(quarantined)}")
-    for kind, root, _ in _ARTIFACT_LAYOUTS:
-        live, held = _artifact_dirs(root(cache_dir))
-        live_bytes = sum(_dir_bytes(path) for path in live)
-        held_bytes = sum(_dir_bytes(path) for path in held)
+    print(f"records: {status['records']} ({status['record_bytes']:,} bytes)")
+    for table_label, count in status["by_label"].items():
+        print(f"  {table_label:12s} {count}")
+    if status["undecodable"]:
         print(
-            f"{kind} artifacts: {len(live)} ({live_bytes:,} bytes), "
-            f"quarantined: {len(held)} ({held_bytes:,} bytes)"
+            f"undecodable records: {status['undecodable']} "
+            "(run 'cache verify')"
         )
-    manifest = read_manifest(cache_dir)
+    print(f"quarantined files: {status['quarantined']}")
+    for kind, summary in status["artifacts"].items():
+        print(
+            f"{kind} artifacts: {summary['live']} "
+            f"({summary['live_bytes']:,} bytes), "
+            f"quarantined: {summary['quarantined']} "
+            f"({summary['quarantined_bytes']:,} bytes)"
+        )
+    manifest = status["manifest"]
     if manifest is not None:
         counters = manifest.get("cache", {})
         summary = ", ".join(f"{k}={v}" for k, v in sorted(counters.items()))
         print(f"last sweep manifest: grids={manifest.get('grids')} {summary}")
     return 0
-
-
-#: Artifact layouts living under the cache directory, beyond the flat
-#: ``<key>.json`` records: (kind, subdirectory resolver, validator).
-_ARTIFACT_LAYOUTS: tuple[tuple[str, Callable, Callable], ...] = (
-    ("trace", materialize.trace_root, materialize.load_artifact),
-    ("plane", missplane.plane_root, missplane.load_plane),
-)
-
-
-def _dir_bytes(root: Path) -> int:
-    """Total size of every file under an artifact directory."""
-    return sum(
-        path.stat().st_size for path in root.rglob("*") if path.is_file()
-    )
-
-
-def _artifact_dirs(root: Path) -> tuple[list[Path], list[Path]]:
-    """Committed and quarantined artifact directories under ``root``."""
-    if not root.is_dir():
-        return [], []
-    live: list[Path] = []
-    quarantined: list[Path] = []
-    for path in sorted(root.iterdir()):
-        if not path.is_dir() or path.name.startswith("."):
-            continue
-        if missplane.QUARANTINE_SUFFIX in path.name:
-            quarantined.append(path)
-        else:
-            live.append(path)
-    return live, quarantined
 
 
 def _cache_verify(cache_dir: Path, args: argparse.Namespace) -> int:
@@ -446,8 +454,8 @@ def _cache_verify(cache_dir: Path, args: argparse.Namespace) -> int:
     for path in quarantined:
         print(f"QUARANTINED {path.name}")
     artifacts_checked = artifacts_bad = artifacts_quarantined = 0
-    for kind, root, validate in _ARTIFACT_LAYOUTS:
-        live, held = _artifact_dirs(root(cache_dir))
+    for kind, root, validate in ARTIFACT_LAYOUTS:
+        live, held = artifact_dirs(root(cache_dir))
         artifacts_quarantined += len(held)
         for path in live:
             artifacts_checked += 1
@@ -485,8 +493,8 @@ def _cache_purge(cache_dir: Path, args: argparse.Namespace) -> int:
         except OSError:
             pass
     dirs_removed = 0
-    for _, root, _ in _ARTIFACT_LAYOUTS:
-        live, held = _artifact_dirs(root(cache_dir))
+    for _, root, _ in ARTIFACT_LAYOUTS:
+        live, held = artifact_dirs(root(cache_dir))
         doomed = held if args.corrupt_only else held + live
         for path in doomed:
             try:
@@ -677,12 +685,122 @@ def _cmd_service(args: argparse.Namespace) -> int:
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
-    from repro.analysis.figures_svg import write_figure_svgs
+    """Render Figures 2-5: a thin wrapper over the report builder.
 
-    runner = _make_runner(args)
-    paths = write_figure_svgs(runner, args.out)
+    With a cache the figures render straight from the ``figures``
+    report's records -- byte-identical to the pre-builder output; any
+    missing cells are simulated (and cached) first.  Without a cache
+    the runner computes the grids in memory as before.
+    """
+    from repro.analysis.figures_svg import (
+        FIGURE_GRID_LABELS,
+        render_figure_svgs,
+        write_figure_svgs,
+    )
+    from repro.reports import build_report
+
+    config = _config_with_flags(args)
+    if config.cache_dir is None:
+        paths = write_figure_svgs(_make_runner(args), args.out)
+    else:
+        report = build_report("figures", config)
+        if not report.complete:
+            runner = _make_runner(args)
+            for label in FIGURE_GRID_LABELS:
+                runner.grid(label)  # simulate the gaps into the cache
+            report = build_report("figures", config)
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        paths = []
+        for name, svg in render_figure_svgs(report.grids(), config).items():
+            path = out_dir / name
+            path.write_text(svg, encoding="utf-8")
+            paths.append(path)
     for path in paths:
         print(f"wrote {path}")
+    return 0
+
+
+def _report_overrides(
+    config: ExperimentConfig, args: argparse.Namespace
+) -> ExperimentConfig:
+    """Fold ``report``'s --rates/--sizes flags into the configuration."""
+    if args.rates:
+        config = replace(
+            config,
+            issue_rates=tuple(
+                int(float(token)) for token in args.rates.split(",") if token
+            ),
+        )
+    if args.sizes:
+        config = replace(
+            config,
+            sizes=tuple(int(token) for token in args.sizes.split(",") if token),
+        )
+    return config
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.reports import build_report, export_report
+
+    if args.server:
+        from repro.service.client import ServiceClient, ServiceError
+
+        spec: dict = {}
+        if args.rates:
+            spec["rates"] = [
+                int(float(token)) for token in args.rates.split(",") if token
+            ]
+        if args.sizes:
+            spec["sizes"] = [
+                int(token) for token in args.sizes.split(",") if token
+            ]
+        for field in ("scale", "slice_refs", "seed"):
+            value = getattr(args, field, None)
+            if value is not None:
+                spec[field] = value
+        try:
+            body = ServiceClient(args.server).fetch_report(
+                args.name,
+                format=args.format,
+                min_complete=args.min_complete,
+                spec=spec,
+            )
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    else:
+        config = _report_overrides(_config_with_flags(args), args)
+        try:
+            report = build_report(args.name, config)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if (
+            args.min_complete is not None
+            and report.completeness < args.min_complete
+        ):
+            print(
+                json.dumps(report.completeness_payload(), indent=2),
+                file=sys.stderr,
+            )
+            print(
+                f"error: report {args.name!r} is "
+                f"{report.completeness:.3f} complete, below "
+                f"--min-complete {args.min_complete}",
+                file=sys.stderr,
+            )
+            return 1
+        body = export_report(report, args.format)
+    if args.out:
+        out = Path(args.out)
+        if out.parent != Path(""):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_bytes(body)
+        print(f"wrote {out}")
+    else:
+        sys.stdout.buffer.write(body)
+        sys.stdout.buffer.flush()
     return 0
 
 
@@ -694,6 +812,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "figures":
         return _cmd_figures(args)
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "cache":

@@ -1,0 +1,166 @@
+"""Machine-readable cache and benchmark summaries.
+
+These serializers back three consumers with one shape each:
+``rampage-sim cache stats --json``, the daemon's ``GET /v1/bench``
+route, and the dashboard's status cards.  Everything here is
+read-only and tolerant -- an absent directory or a malformed
+``BENCH_throughput.json`` yields a summary that *says so* instead of
+raising.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable
+
+from repro.core.errors import CacheIntegrityError
+from repro.core.observe import read_manifest
+from repro.experiments.runner import (
+    decode_cache_entry,
+    iter_cache_files,
+    iter_quarantined_files,
+)
+from repro.trace import filter as missplane
+from repro.trace import materialize
+
+#: Artifact layouts living under the cache directory, beyond the
+#: ``<key>.json`` records: (kind, subdirectory resolver, validator).
+ARTIFACT_LAYOUTS: tuple[tuple[str, Callable, Callable], ...] = (
+    ("trace", materialize.trace_root, materialize.load_artifact),
+    ("plane", missplane.plane_root, missplane.load_plane),
+)
+
+
+def dir_bytes(root: Path) -> int:
+    """Total size of every file under an artifact directory."""
+    return sum(
+        path.stat().st_size for path in root.rglob("*") if path.is_file()
+    )
+
+
+def artifact_dirs(root: Path) -> tuple[list[Path], list[Path]]:
+    """Committed and quarantined artifact directories under ``root``."""
+    if not root.is_dir():
+        return [], []
+    live: list[Path] = []
+    quarantined: list[Path] = []
+    for path in sorted(root.iterdir()):
+        if not path.is_dir() or path.name.startswith("."):
+            continue
+        if missplane.QUARANTINE_SUFFIX in path.name:
+            quarantined.append(path)
+        else:
+            live.append(path)
+    return live, quarantined
+
+
+def cache_status(cache_dir: str | Path | None) -> dict:
+    """One JSON-friendly summary of a run-record cache directory."""
+    if cache_dir is None:
+        return {"present": False, "path": None}
+    cache_dir = Path(cache_dir)
+    if not cache_dir.exists():
+        return {"present": False, "path": str(cache_dir)}
+    entries = list(iter_cache_files(cache_dir))
+    quarantined = list(iter_quarantined_files(cache_dir))
+    total_bytes = sum(path.stat().st_size for path in entries)
+    by_label: dict[str, int] = {}
+    undecodable = 0
+    for path in entries:
+        try:
+            record = decode_cache_entry(path.read_text("utf-8"))
+        except (OSError, CacheIntegrityError):
+            undecodable += 1
+            continue
+        by_label[record.label] = by_label.get(record.label, 0) + 1
+    artifacts = {}
+    for kind, root, _ in ARTIFACT_LAYOUTS:
+        live, held = artifact_dirs(root(cache_dir))
+        artifacts[kind] = {
+            "live": len(live),
+            "live_bytes": sum(dir_bytes(path) for path in live),
+            "quarantined": len(held),
+            "quarantined_bytes": sum(dir_bytes(path) for path in held),
+        }
+    return {
+        "present": True,
+        "path": str(cache_dir),
+        "records": len(entries),
+        "record_bytes": total_bytes,
+        "by_label": dict(sorted(by_label.items())),
+        "undecodable": undecodable,
+        "quarantined": len(quarantined),
+        "artifacts": artifacts,
+        "manifest": read_manifest(cache_dir),
+    }
+
+
+def _trend_point(snapshot: dict) -> dict:
+    """One bench snapshot reduced to what a trend line needs."""
+    point = {
+        "date": snapshot.get("date"),
+        "note": snapshot.get("note", ""),
+        "throughput": snapshot.get("throughput", {}),
+    }
+    sweep = snapshot.get("sweep")
+    if isinstance(sweep, dict):
+        point["sweep"] = {
+            key: sweep[key]
+            for key in (
+                "cells",
+                "wall_s",
+                "two_phase_wall_s",
+                "speedup",
+                "two_phase_speedup",
+                "modes",
+            )
+            if key in sweep
+        }
+    replay = snapshot.get("replay_kernel")
+    if isinstance(replay, dict):
+        point["replay_kernel"] = {
+            key: replay[key]
+            for key in ("speedup", "mismatches")
+            if key in replay
+        }
+    return point
+
+
+def bench_status(path: str | Path | None) -> dict:
+    """Summary of a ``BENCH_throughput.json`` snapshot file."""
+    if path is None:
+        return {"present": False, "path": None, "snapshots": 0, "trend": []}
+    path = Path(path)
+    if not path.exists():
+        return {
+            "present": False,
+            "path": str(path),
+            "snapshots": 0,
+            "trend": [],
+        }
+    try:
+        data = json.loads(path.read_text("utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        return {
+            "present": False,
+            "path": str(path),
+            "snapshots": 0,
+            "trend": [],
+            "error": str(error),
+        }
+    snapshots = data.get("snapshots", [])
+    if not isinstance(snapshots, list):
+        snapshots = []
+    return {
+        "present": True,
+        "path": str(path),
+        "unit": data.get("unit"),
+        "workload": data.get("workload", {}),
+        "snapshots": len(snapshots),
+        "trend": [
+            _trend_point(snapshot)
+            for snapshot in snapshots
+            if isinstance(snapshot, dict)
+        ],
+    }

@@ -24,6 +24,7 @@ import json
 import random
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from typing import Iterator
 
@@ -182,6 +183,41 @@ class ServiceClient:
         """One cell's raw cache-file bytes, exactly as stored on disk."""
         with self._request("GET", f"/v1/records/{key}") as response:
             return response.read()
+
+    def reports(self) -> dict:
+        """The report index: known report names and export formats."""
+        return self._json("GET", "/v1/reports")
+
+    def fetch_report(
+        self,
+        name: str,
+        *,
+        format: str = "json",
+        min_complete: float | None = None,
+        spec: dict | None = None,
+    ) -> bytes:
+        """One rendered report, as the server's raw bytes for ``format``.
+
+        ``spec`` carries the workload knobs a job spec would (``scale``,
+        ``slice_refs``, ``seed``, ``rates``, ``sizes``); lists are sent
+        comma-joined.  A 409 (report below ``min_complete``) surfaces
+        as a :class:`ServiceError` with ``status == 409``.
+        """
+        params = {"format": format}
+        if min_complete is not None:
+            params["min_complete"] = str(min_complete)
+        for knob, value in (spec or {}).items():
+            if isinstance(value, (list, tuple)):
+                params[knob] = ",".join(str(item) for item in value)
+            else:
+                params[knob] = str(value)
+        query = urllib.parse.urlencode(params)
+        with self._request("GET", f"/v1/reports/{name}?{query}") as response:
+            return response.read()
+
+    def bench(self) -> dict:
+        """The daemon's throughput-trend + cache summary (``/v1/bench``)."""
+        return self._json("GET", "/v1/bench")
 
     def watch(self, job_id: str) -> Iterator[tuple[str, dict]]:
         """Stream one SSE connection's ``(event, payload)`` pairs.

@@ -9,12 +9,16 @@ the cache -- the result endpoints serve the cache files themselves.
 Endpoints (all JSON unless noted)::
 
     GET  /healthz                  liveness + admission-queue state
+    GET  /dashboard                live HTML dashboard (docs/reports.md)
     GET  /v1/jobs                  all jobs, submission order
     POST /v1/jobs                  submit a sweep (idempotent)
     GET  /v1/jobs/<id>             one job's status and counters
     GET  /v1/jobs/<id>/events      SSE progress stream
     GET  /v1/jobs/<id>/records     per-cell record manifest
-    GET  /v1/records/<key>         raw cache file bytes for one cell
+    GET  /v1/records/<key>         raw cache file bytes for one cell (ETag)
+    GET  /v1/reports               report + format index
+    GET  /v1/reports/<name>        report render; ?format=svg|html|json|md|csv
+    GET  /v1/bench                 throughput trend + cache summary
 
 Submission semantics:
 
@@ -39,16 +43,29 @@ from __future__ import annotations
 
 import asyncio
 import functools
+import hashlib
 import json
 import math
 import queue
 import re
 import signal
 import threading
+from dataclasses import replace
 from pathlib import Path
+from urllib.parse import parse_qs
 
 from repro.core.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
+from repro.reports import (
+    CONTENT_TYPES,
+    DASHBOARD_HTML,
+    FORMATS,
+    bench_status,
+    build_report,
+    cache_status,
+    export_report,
+    report_names,
+)
 from repro.service.jobs import Job, JobSpec, JobStore, plan_cells
 from repro.service.scheduler import BackpressureError, SweepScheduler
 
@@ -65,15 +82,76 @@ _KEY_RE = re.compile(r"^[0-9a-f]{8,64}$")
 _STATUS_TEXT = {
     200: "OK",
     201: "Created",
+    304: "Not Modified",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     429: "Too Many Requests",
     500: "Internal Server Error",
 }
 
 #: How often an idle SSE stream emits a keep-alive comment (seconds).
 SSE_KEEPALIVE_S = 2.0
+
+
+def _record_etag(blob: bytes) -> str:
+    """The validator for one record file: its envelope checksum.
+
+    The envelope already carries a SHA-256 over the record payload, so
+    reuse it (stable across cache relocations).  A file that predates
+    the envelope -- or is mid-quarantine -- falls back to a digest of
+    the raw bytes, which is still a correct validator.
+    """
+    try:
+        envelope = json.loads(blob.decode("utf-8"))
+        checksum = envelope.get("checksum")
+        if isinstance(checksum, str) and checksum:
+            return checksum
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        pass
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _etag_matches(if_none_match: str, etag: str) -> bool:
+    """RFC 9110 ``If-None-Match``: comma list, ``W/`` prefixes, ``*``."""
+    for candidate in if_none_match.split(","):
+        candidate = candidate.strip()
+        if not candidate:
+            continue
+        if candidate == "*":
+            return True
+        if candidate.startswith("W/"):
+            candidate = candidate[2:]
+        if candidate == etag:
+            return True
+    return False
+
+
+def _report_config(base: ExperimentConfig, query: dict[str, str]) -> ExperimentConfig:
+    """Apply a report request's workload-knob query params over ``base``.
+
+    The same knobs a job spec carries; values accept scientific
+    notation (``rates=2e8``) because that is how humans type 200 MHz.
+    Raises ``ValueError``/``ConfigurationError`` on malformed values --
+    the route maps both to a 400.
+    """
+    overrides: dict = {}
+    if "scale" in query:
+        overrides["scale"] = float(query["scale"])
+    if "slice_refs" in query:
+        overrides["slice_refs"] = int(float(query["slice_refs"]))
+    if "seed" in query:
+        overrides["seed"] = int(float(query["seed"]))
+    for name in ("rates", "sizes"):
+        if name in query:
+            values = tuple(
+                int(float(token))
+                for token in query[name].split(",")
+                if token.strip()
+            )
+            overrides["issue_rates" if name == "rates" else "sizes"] = values
+    return replace(base, **overrides) if overrides else base
 
 
 class SweepService:
@@ -89,6 +167,7 @@ class SweepService:
         queue_limit: int = 8,
         state_dir: str | Path | None = None,
         fabric: int = 0,
+        bench_path: str | Path | None = None,
     ) -> None:
         self.config = config if config is not None else ExperimentConfig.from_env()
         if self.config.cache_dir is None:
@@ -102,6 +181,11 @@ class SweepService:
             Path(state_dir)
             if state_dir is not None
             else Path(self.config.cache_dir) / SERVICE_DIRNAME
+        )
+        self.bench_path = (
+            Path(bench_path)
+            if bench_path is not None
+            else Path.cwd() / "BENCH_throughput.json"
         )
         self.store = JobStore(state)
         self.scheduler = SweepScheduler(
@@ -168,12 +252,19 @@ class SweepService:
     ) -> None:
         try:
             try:
-                method, path, headers, body = await self._read_request(reader)
+                method, target, headers, body = await self._read_request(reader)
             except (ValueError, asyncio.IncompleteReadError, UnicodeDecodeError):
                 await self._respond(writer, 400, {"error": "malformed request"})
                 return
+            path, _, query_string = target.partition("?")
+            query = {
+                name: values[-1]
+                for name, values in parse_qs(
+                    query_string, keep_blank_values=True
+                ).items()
+            }
             try:
-                await self._route(method, path, body, writer)
+                await self._route(method, path, query, headers, body, writer)
             except ConnectionError:
                 pass  # client went away mid-response
             except Exception as exc:  # route bugs become a 500, not a hang
@@ -210,7 +301,7 @@ class SweepService:
         length = int(headers.get("content-length", "0") or "0")
         if length:
             body = await reader.readexactly(length)
-        return method.upper(), target.split("?", 1)[0], headers, body
+        return method.upper(), target, headers, body
 
     async def _respond(
         self,
@@ -241,7 +332,13 @@ class SweepService:
     # ------------------------------------------------------------------
 
     async def _route(
-        self, method: str, path: str, body: bytes, writer: asyncio.StreamWriter
+        self,
+        method: str,
+        path: str,
+        query: dict[str, str],
+        headers: dict[str, str],
+        body: bytes,
+        writer: asyncio.StreamWriter,
     ) -> None:
         if path == "/healthz" and method == "GET":
             await self._respond(
@@ -289,7 +386,49 @@ class SweepService:
             if method != "GET":
                 await self._respond(writer, 405, {"error": "GET only"})
                 return
-            await self._serve_record(match.group(1), writer)
+            await self._serve_record(match.group(1), headers, writer)
+            return
+        if path == "/dashboard":
+            if method != "GET":
+                await self._respond(writer, 405, {"error": "GET only"})
+                return
+            await self._respond(
+                writer,
+                200,
+                raw=DASHBOARD_HTML.encode("utf-8"),
+                content_type="text/html; charset=utf-8",
+            )
+            return
+        if path == "/v1/bench":
+            if method != "GET":
+                await self._respond(writer, 405, {"error": "GET only"})
+                return
+            loop = asyncio.get_running_loop()
+            payload = await loop.run_in_executor(
+                None,
+                lambda: {
+                    "bench": bench_status(self.bench_path),
+                    "cache": cache_status(self.config.cache_dir),
+                },
+            )
+            await self._respond(writer, 200, payload)
+            return
+        if path == "/v1/reports":
+            if method != "GET":
+                await self._respond(writer, 405, {"error": "GET only"})
+                return
+            await self._respond(
+                writer,
+                200,
+                {"reports": report_names(), "formats": list(FORMATS)},
+            )
+            return
+        match = re.match(r"^/v1/reports/([^/]+)$", path)
+        if match:
+            if method != "GET":
+                await self._respond(writer, 405, {"error": "GET only"})
+                return
+            await self._serve_report(match.group(1), query, writer)
             return
         await self._respond(writer, 404, {"error": f"no route for {path}"})
 
@@ -351,7 +490,7 @@ class SweepService:
         )
 
     async def _serve_record(
-        self, key: str, writer: asyncio.StreamWriter
+        self, key: str, headers: dict[str, str], writer: asyncio.StreamWriter
     ) -> None:
         if not _KEY_RE.match(key):
             await self._respond(writer, 400, {"error": "invalid record key"})
@@ -361,8 +500,79 @@ class SweepService:
             await self._respond(writer, 404, {"error": f"no record {key}"})
             return
         # The raw cache file, byte for byte -- the envelope checksum the
-        # client verifies is the one the runner wrote.
-        await self._respond(writer, 200, raw=path.read_bytes())
+        # client verifies is the one the runner wrote.  That checksum
+        # also makes a natural validator: the ETag is the envelope's
+        # record checksum, so pollers can revalidate with
+        # ``If-None-Match`` instead of refetching record bytes.
+        blob = path.read_bytes()
+        etag = f'"{_record_etag(blob)}"'
+        if _etag_matches(headers.get("if-none-match", ""), etag):
+            await self._respond(
+                writer, 304, raw=b"", extra_headers={"ETag": etag}
+            )
+            return
+        await self._respond(
+            writer,
+            200,
+            raw=blob,
+            content_type="application/json",
+            extra_headers={"ETag": etag},
+        )
+
+    async def _serve_report(
+        self, name: str, query: dict[str, str], writer: asyncio.StreamWriter
+    ) -> None:
+        """Render one report from cached records -- never simulates.
+
+        ``?format=`` picks the export (default ``json``); the workload
+        knobs (``scale``, ``slice_refs``, ``seed``, ``rates``,
+        ``sizes``) default to the daemon's configuration, so a report
+        fetched right after a default-knob job sees that job's cells.
+        ``?min_complete=`` turns an under-populated report into a 409
+        carrying the completeness payload instead of a render.
+        """
+        fmt = query.get("format", "json")
+        if fmt not in CONTENT_TYPES:
+            await self._respond(
+                writer,
+                400,
+                {"error": f"unknown format {fmt!r}; known: {list(FORMATS)}"},
+            )
+            return
+        try:
+            config = _report_config(self.config, query)
+            min_complete = float(query.get("min_complete", "0") or "0")
+        except (ValueError, ConfigurationError) as exc:
+            await self._respond(writer, 400, {"error": str(exc)})
+            return
+        loop = asyncio.get_running_loop()
+        try:
+            # Key derivation + cache reads; keep them off the event loop.
+            report = await loop.run_in_executor(
+                None, functools.partial(build_report, name, config)
+            )
+        except ConfigurationError as exc:
+            await self._respond(writer, 404, {"error": str(exc)})
+            return
+        if report.completeness < min_complete:
+            await self._respond(
+                writer,
+                409,
+                {
+                    "error": (
+                        f"report {name!r} is {report.completeness:.3f} "
+                        f"complete, below min_complete={min_complete}"
+                    ),
+                    **report.completeness_payload(),
+                },
+            )
+            return
+        body = await loop.run_in_executor(
+            None, functools.partial(export_report, report, fmt)
+        )
+        await self._respond(
+            writer, 200, raw=body, content_type=CONTENT_TYPES[fmt]
+        )
 
     async def _stream_events(self, job: Job, writer: asyncio.StreamWriter) -> None:
         """SSE: snapshot first, then live progress until terminal.

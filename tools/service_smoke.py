@@ -8,7 +8,9 @@ issue rates — the speed-ratio sweep every paper table runs):
 1. start the daemon on a free port and wait for its ready line,
 2. submit the grid over HTTP and stream SSE progress to completion,
 3. fetch every record and assert it is **byte-identical** to what the
-   serial in-process :class:`Runner` produces for the same cells,
+   serial in-process :class:`Runner` produces for the same cells, then
+   fetch each grid's report over ``/v1/reports`` (json + svg) and
+   assert completeness 1.0 and a well-formed SVG document,
 4. SIGKILL the daemon mid-restart-resubmission, restart it over the
    same state directory, and assert the journalled job finishes
    entirely from cache (zero ``mode=full`` cells),
@@ -28,6 +30,7 @@ import tempfile
 import threading
 import time
 from pathlib import Path
+from xml.etree import ElementTree
 
 SRC = Path(__file__).resolve().parent.parent / "src"
 sys.path.insert(0, str(SRC))
@@ -170,6 +173,26 @@ def main() -> int:
         resubmit = client.submit(spec_payload())
         check(not resubmit["created"] and resubmit["id"] == job["id"],
               "resubmission is idempotent (same job, no new work)")
+
+        print("== report leg: /v1/reports over the freshly warmed cache ==")
+        report_spec = {k: v for k, v in spec_payload().items()
+                       if k != "labels"}
+        for grid in SWEEP_LABELS:
+            payload = json.loads(client.fetch_report(
+                grid, format="json", min_complete=1.0, spec=report_spec))
+            check(payload["completeness"] == 1.0,
+                  f"report {grid} is fully backed by cached records")
+            check(len(payload["cells"]) == len(SWEEP_RATES) * len(SWEEP_SIZES)
+                  and all(cell["record"] for cell in payload["cells"]),
+                  f"report {grid} carries every cell's record")
+        svg = client.fetch_report(SWEEP_LABELS[-1], format="svg",
+                                  min_complete=1.0, spec=report_spec)
+        ElementTree.fromstring(svg.decode("utf-8"))
+        check(svg.lstrip().startswith(b"<svg"),
+              "svg report is a well-formed SVG document")
+        index = client.reports()
+        check(set(SWEEP_LABELS) <= set(index["reports"]),
+              "report index lists the sweep grids")
 
         print("== leg 2: SIGKILL mid-flight, journal recovery on restart ==")
         # Rewind the journal to the unacked submission: the daemon
